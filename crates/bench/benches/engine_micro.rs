@@ -1,0 +1,68 @@
+//! Engine microbenchmarks: raw simulation speed (cycles/second) of the
+//! router model under different occupancy regimes, plus topology and
+//! ring-construction costs. These guard the simulator's performance —
+//! the figure suite is built on millions of `Network::step` calls.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ofar_core::prelude::*;
+use ofar_core::routing::MinPolicy;
+use ofar_core::topology::HamiltonianRing as Ring;
+
+fn engine_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step");
+    g.sample_size(10);
+    for (label, load) in [("idle", 0.0f64), ("moderate", 0.3), ("saturated", 0.9)] {
+        g.throughput(Throughput::Elements(500));
+        g.bench_function(format!("h2_{label}_500cycles"), |b| {
+            let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(2));
+            b.iter_batched(
+                || {
+                    let mut net = Network::new(cfg, MechanismKind::Ofar.build(&cfg, 1));
+                    // pre-warm occupancy
+                    let topo = Dragonfly::new(cfg.params);
+                    let mut gen = TrafficGen::new(&topo, TrafficSpec::uniform(), 2);
+                    let mut bern = Bernoulli::new(load, cfg.packet_size, 3);
+                    let nodes = net.num_nodes();
+                    for _ in 0..300 {
+                        bern.cycle(nodes, |s| {
+                            let d = gen.destination(s);
+                            net.generate(s, d);
+                        });
+                        net.step();
+                    }
+                    (net, gen, bern)
+                },
+                |(mut net, mut gen, mut bern)| {
+                    let nodes = net.num_nodes();
+                    for _ in 0..500 {
+                        bern.cycle(nodes, |s| {
+                            let d = gen.destination(s);
+                            net.generate(s, d);
+                        });
+                        net.step();
+                    }
+                    net.stats().delivered_packets
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    g.bench_function("network_build_h4", |b| {
+        let cfg = SimConfig::paper(4);
+        b.iter(|| Network::new(cfg, MinPolicy::new(&cfg)))
+    });
+    g.bench_function("disjoint_rings_h6", |b| {
+        let topo = Dragonfly::balanced(6);
+        b.iter(|| Ring::embed_disjoint(&topo, 6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_steps, construction);
+criterion_main!(benches);

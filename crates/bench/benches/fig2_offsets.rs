@@ -1,0 +1,40 @@
+//! Fig. 2b bench: regenerates the throughput-vs-offset series at smoke
+//! scale and times the Valiant saturation measurement. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig2b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn series() {
+    let scale = Scale::quick();
+    println!("{}", ofar_core::experiments::fig2b(&scale));
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let cfg = SimConfig::paper(2);
+    let opts = SteadyOpts {
+        warmup: 300,
+        measure: 700,
+    };
+    let mut g = c.benchmark_group("fig2b_offsets");
+    g.sample_size(10);
+    for offset in [1usize, 2] {
+        g.bench_function(format!("VAL_ADV+{offset}_saturation_1kcycles"), |b| {
+            b.iter(|| {
+                steady_state(
+                    cfg,
+                    MechanismKind::Valiant,
+                    &TrafficSpec::adversarial(offset),
+                    1.0,
+                    opts,
+                    7,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

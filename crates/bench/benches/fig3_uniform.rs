@@ -1,0 +1,31 @@
+//! Fig. 3 bench: regenerates the uniform-traffic series at smoke scale
+//! and times one steady-state point per mechanism. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn series() {
+    let scale = Scale::quick();
+    println!("{}", ofar_core::experiments::fig3(&scale));
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let cfg = SimConfig::paper(2);
+    let opts = SteadyOpts {
+        warmup: 300,
+        measure: 700,
+    };
+    let mut g = c.benchmark_group("fig3_uniform");
+    g.sample_size(10);
+    for kind in [MechanismKind::Min, MechanismKind::Pb, MechanismKind::Ofar] {
+        g.bench_function(format!("{kind}_UN_0.4_1kcycles"), |b| {
+            b.iter(|| steady_state(cfg, kind, &TrafficSpec::uniform(), 0.4, opts, 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 4 bench: ADV+2 series at smoke scale plus per-mechanism timing.
+//! Full-scale data: `cargo run --release -p ofar-bench --bin fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ofar_core::experiments::fig4(&Scale::quick()));
+    let cfg = SimConfig::paper(2);
+    let opts = SteadyOpts {
+        warmup: 300,
+        measure: 700,
+    };
+    let mut g = c.benchmark_group("fig4_adv2");
+    g.sample_size(10);
+    for kind in [MechanismKind::Valiant, MechanismKind::Ofar, MechanismKind::OfarL] {
+        g.bench_function(format!("{kind}_ADV2_0.3_1kcycles"), |b| {
+            b.iter(|| steady_state(cfg, kind, &TrafficSpec::adversarial(2), 0.3, opts, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 5 bench (the headline result): ADV+h series at smoke scale plus
+//! OFAR vs OFAR-L timing at the local-link wall. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ofar_core::experiments::fig5(&Scale::quick()));
+    let cfg = SimConfig::paper(2);
+    let opts = SteadyOpts {
+        warmup: 300,
+        measure: 700,
+    };
+    let mut g = c.benchmark_group("fig5_advh");
+    g.sample_size(10);
+    for kind in [MechanismKind::Ofar, MechanismKind::OfarL, MechanismKind::Pb] {
+        g.bench_function(format!("{kind}_ADVh_0.4_1kcycles"), |b| {
+            b.iter(|| steady_state(cfg, kind, &TrafficSpec::adversarial(2), 0.4, opts, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 6 bench: transient latency series at smoke scale plus the
+//! transient-runner timing. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    // The full transient table is long; print a compact summary of the
+    // smoke-scale adaptation behaviour instead of all buckets.
+    let scale = Scale::quick();
+    let t = ofar_core::experiments::fig6(&scale);
+    println!("== {} (every 500 cycles) ==", t.title);
+    for r in t
+        .rows
+        .iter()
+        .filter(|r| r[2].parse::<i64>().map(|c| c % 500 == 0).unwrap_or(false))
+    {
+        println!("{:>14} {:>7} {:>7} {:>9}", r[0], r[1], r[2], r[3]);
+    }
+
+    let cfg = SimConfig::paper(2);
+    let opts = TransientOpts {
+        warmup: 600,
+        post: 500,
+        pre_window: 200,
+        bucket: 100,
+        drain: 500,
+    };
+    let mut g = c.benchmark_group("fig6_transient");
+    g.sample_size(10);
+    for kind in [MechanismKind::Pb, MechanismKind::Ofar] {
+        g.bench_function(format!("{kind}_UN_to_ADV2"), |b| {
+            b.iter(|| {
+                transient(
+                    cfg,
+                    kind,
+                    &TrafficSpec::uniform(),
+                    &TrafficSpec::adversarial(2),
+                    0.14,
+                    opts,
+                    3,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

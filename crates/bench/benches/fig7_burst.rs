@@ -1,0 +1,22 @@
+//! Fig. 7 bench: burst-consumption comparison at smoke scale plus the
+//! burst-runner timing. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ofar_core::experiments::fig7(&Scale::quick()));
+    let cfg = SimConfig::paper(2);
+    let mut g = c.benchmark_group("fig7_burst");
+    g.sample_size(10);
+    for kind in [MechanismKind::Pb, MechanismKind::Ofar, MechanismKind::OfarL] {
+        g.bench_function(format!("{kind}_MIX2_10ppn"), |b| {
+            b.iter(|| burst(cfg, kind, &TrafficSpec::mix2(2), 10, 9))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

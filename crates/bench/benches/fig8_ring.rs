@@ -1,0 +1,35 @@
+//! Fig. 8 bench: physical vs embedded escape ring at smoke scale plus
+//! per-model timing. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ofar_core::experiments::fig8(&Scale::quick()));
+    let opts = SteadyOpts {
+        warmup: 300,
+        measure: 700,
+    };
+    let mut g = c.benchmark_group("fig8_ring");
+    g.sample_size(10);
+    for ring in [RingMode::Physical, RingMode::Embedded] {
+        let cfg = SimConfig::paper(2).with_ring(ring);
+        g.bench_function(format!("OFAR_{ring:?}_ADV2_0.3"), |b| {
+            b.iter(|| {
+                steady_state(
+                    cfg,
+                    MechanismKind::Ofar,
+                    &TrafficSpec::adversarial(2),
+                    0.3,
+                    opts,
+                    5,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

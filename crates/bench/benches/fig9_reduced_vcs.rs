@@ -1,0 +1,29 @@
+//! Fig. 9 bench: reduced-VC congestion study at smoke scale plus the
+//! reduced-config timing. Full-scale data:
+//! `cargo run --release -p ofar-bench --bin fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofar_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ofar_core::experiments::fig9(&Scale::quick()));
+    let cfg = SimConfig::reduced_vcs(2);
+    let opts = SteadyOpts {
+        warmup: 300,
+        measure: 700,
+    };
+    let mut g = c.benchmark_group("fig9_reduced_vcs");
+    g.sample_size(10);
+    for (label, spec) in [
+        ("UN", TrafficSpec::uniform()),
+        ("ADV2", TrafficSpec::adversarial(2)),
+    ] {
+        g.bench_function(format!("OFAR_reducedVC_{label}_0.5"), |b| {
+            b.iter(|| steady_state(cfg, MechanismKind::Ofar, &spec, 0.5, opts, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

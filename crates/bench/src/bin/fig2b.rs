@@ -1,0 +1,7 @@
+//! Regenerates Fig. 2b: Valiant saturation throughput vs ADV offset.
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig2b", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig2b(&scale));
+}

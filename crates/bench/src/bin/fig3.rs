@@ -1,0 +1,7 @@
+//! Regenerates Fig3 of the paper (see ofar_core::experiments::fig3).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig3", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig3(&scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig4 of the paper (see ofar_core::experiments::fig4).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig4", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig4(&scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig5 of the paper (see ofar_core::experiments::fig5).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig5", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig5(&scale));
+}

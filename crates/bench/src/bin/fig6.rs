@@ -1,0 +1,7 @@
+//! Regenerates Fig6 of the paper (see ofar_core::experiments::fig6).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig6", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig6(&scale));
+}

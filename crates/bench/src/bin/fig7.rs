@@ -1,0 +1,7 @@
+//! Regenerates Fig7 of the paper (see ofar_core::experiments::fig7).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig7", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig7(&scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig8 of the paper (see ofar_core::experiments::fig8).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig8", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig8(&scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig9 of the paper (see ofar_core::experiments::fig9).
+
+fn main() {
+    let scale = ofar_core::Scale::from_env();
+    ofar_bench::announce("fig9", &scale);
+    ofar_bench::emit(&ofar_core::experiments::fig9(&scale));
+}

@@ -1,0 +1,72 @@
+//! Diagnostic probe: mechanism internals (misroute composition, ring
+//! traffic, hop breakdown) for one steady-state run. Not part of the
+//! figure suite; kept for development archaeology.
+//!
+//! Usage: `probe <mech> <pattern> <load> [h]`, e.g. `probe OFAR UN 0.675 2`.
+
+use ofar_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mech = args.get(1).map(String::as_str).unwrap_or("OFAR");
+    let pattern = args.get(2).map(String::as_str).unwrap_or("UN");
+    let load: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let h: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let kind = match mech {
+        "MIN" => MechanismKind::Min,
+        "VAL" => MechanismKind::Valiant,
+        "PB" => MechanismKind::Pb,
+        "PAR" => MechanismKind::Par,
+        "OFAR-L" => MechanismKind::OfarL,
+        _ => MechanismKind::Ofar,
+    };
+    let spec = match pattern {
+        "UN" => TrafficSpec::uniform(),
+        s if s.starts_with("ADV+") => TrafficSpec::adversarial(s[4..].parse().unwrap()),
+        _ => TrafficSpec::uniform(),
+    };
+
+    let factor: Option<f64> = args.get(5).and_then(|s| s.parse().ok());
+    let cfg = kind.adapt_config(SimConfig::paper(h));
+    let tuned = factor.map(|f| OfarConfig {
+        threshold: MisrouteThreshold::Variable { factor: f },
+        ..OfarConfig::base()
+    });
+    let mut net = Network::new(cfg, kind.build_tuned(&cfg, 1, tuned, None));
+    let topo = Dragonfly::new(cfg.params);
+    let mut gen = TrafficGen::new(&topo, spec, 2);
+    let mut bern = Bernoulli::new(load, cfg.packet_size, 3);
+    let nodes = net.num_nodes();
+    for _ in 0..3_000 {
+        bern.cycle(nodes, |s| {
+            let d = gen.destination(s);
+            net.generate(s, d);
+        });
+        net.step();
+    }
+    let start = net.stats().clone();
+    for _ in 0..5_000 {
+        bern.cycle(nodes, |s| {
+            let d = gen.destination(s);
+            net.generate(s, d);
+        });
+        net.step();
+    }
+    let end = net.stats().clone();
+    let w = StatsWindow::between(&start, &end, 5_000, nodes);
+    println!("{mech} {pattern} load={load} h={h}");
+    println!("  throughput {:.4}  latency {:.1}  hops {:.2}", w.throughput(), w.avg_latency(), w.avg_hops());
+    println!(
+        "  per-pkt: local mis {:.3}  global mis {:.3}",
+        w.local_misroutes as f64 / w.delivered_packets.max(1) as f64,
+        w.global_misroutes as f64 / w.delivered_packets.max(1) as f64,
+    );
+    println!(
+        "  ring: entries {}  advances {}  exits {}  deliveries {}",
+        end.ring_entries - start.ring_entries,
+        end.ring_advances - start.ring_advances,
+        end.ring_exits - start.ring_exits,
+        end.ring_deliveries - start.ring_deliveries,
+    );
+}

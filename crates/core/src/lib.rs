@@ -1,0 +1,61 @@
+//! # ofar-core
+//!
+//! The public API of the OFAR reproduction (García et al., *On-the-Fly
+//! Adaptive Routing in High-Radix Hierarchical Networks*, ICPP 2012):
+//! simulation configuration, experiment runners, per-figure regeneration
+//! and the analytic throughput bounds of §III.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ofar_core::prelude::*;
+//!
+//! // A small Dragonfly (h = 2, 72 nodes) with the paper's router model.
+//! let cfg = SimConfig::paper(2);
+//! let point = steady_state(
+//!     cfg,
+//!     MechanismKind::Ofar,
+//!     &TrafficSpec::adversarial(2),
+//!     0.2,                       // offered load, phits/(node·cycle)
+//!     SteadyOpts { warmup: 1_000, measure: 2_000 },
+//!     42,
+//! );
+//! assert!(point.throughput > 0.15, "OFAR must sustain ADV+2 at 0.2");
+//! ```
+
+pub mod experiments;
+pub mod run;
+pub mod table;
+pub mod theory;
+
+pub use experiments::Scale;
+pub use run::{
+    burst, burst_comparison, load_sweep, saturation_throughput, steady_state, steady_state_tuned,
+    transient,
+    BurstResult, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+};
+pub use table::Table;
+
+// Re-export the sub-crates so downstream users need a single dependency.
+pub use ofar_engine as engine;
+pub use ofar_routing as routing;
+pub use ofar_topology as topology;
+pub use ofar_traffic as traffic;
+
+/// Everything needed for typical experiments.
+pub mod prelude {
+    pub use crate::experiments::{self, Scale};
+    pub use crate::run::{
+        burst, burst_comparison, load_sweep, saturation_throughput, steady_state, steady_state_tuned,
+    transient,
+        BurstResult, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+    };
+    pub use crate::table::Table;
+    pub use crate::theory;
+    pub use ofar_engine::{Network, Policy, RingMode, SimConfig, Stats, StatsWindow};
+    pub use ofar_routing::{
+        Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy, PbConfig,
+    };
+    pub use ofar_topology::{Dragonfly, DragonflyParams, GroupId, HamiltonianRing, NodeId, RouterId};
+    pub use ofar_traffic::{Bernoulli, TrafficGen, TrafficPattern, TrafficSpec};
+}

@@ -1,0 +1,457 @@
+//! Experiment runners: steady state, load sweeps, transients and bursts
+//! (§VI of the paper).
+
+use ofar_engine::{Network, SimConfig, StatsWindow};
+use ofar_routing::MechanismKind;
+use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
+use rayon::prelude::*;
+
+/// Warmup/measurement lengths for steady-state runs.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyOpts {
+    /// Cycles simulated before measurement starts.
+    pub warmup: u64,
+    /// Cycles measured.
+    pub measure: u64,
+}
+
+impl Default for SteadyOpts {
+    fn default() -> Self {
+        Self {
+            warmup: 20_000,
+            measure: 30_000,
+        }
+    }
+}
+
+/// One point of a steady-state curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyPoint {
+    /// Offered load in phits/(node·cycle).
+    pub load: f64,
+    /// Accepted throughput in phits/(node·cycle).
+    pub throughput: f64,
+    /// Mean packet latency in cycles (generation → delivery).
+    pub avg_latency: f64,
+    /// Median latency of packets generated inside the measurement window.
+    pub p50_latency: f64,
+    /// 99th-percentile latency of packets generated inside the window.
+    pub p99_latency: f64,
+    /// Mean link hops per packet.
+    pub avg_hops: f64,
+    /// Misroute hops per delivered packet.
+    pub misroute_rate: f64,
+    /// Escape-ring entries during the measurement window.
+    pub ring_entries: u64,
+    /// Packets delivered during the measurement window.
+    pub delivered: u64,
+}
+
+/// Run one steady-state simulation point.
+///
+/// The configuration is adapted to the mechanism (escape ring for the
+/// OFAR models, 4 local VCs for PAR) unless `cfg.ring` already picks a
+/// ring model.
+pub fn steady_state(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    load: f64,
+    opts: SteadyOpts,
+    seed: u64,
+) -> SteadyPoint {
+    steady_state_tuned(cfg, kind, spec, load, opts, seed, None, None)
+}
+
+/// [`steady_state`] with explicit mechanism tunables — OFAR thresholds
+/// and patience, PB broadcast parameters — for the ablation studies
+/// (§V's "selection of this policy was empirical").
+#[allow(clippy::too_many_arguments)]
+pub fn steady_state_tuned(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    load: f64,
+    opts: SteadyOpts,
+    seed: u64,
+    ofar: Option<ofar_routing::OfarConfig>,
+    pb: Option<ofar_routing::PbConfig>,
+) -> SteadyPoint {
+    let cfg = kind.adapt_config(cfg);
+    let mut net = Network::new(cfg, kind.build_tuned(&cfg, seed, ofar, pb));
+    let topo = *net.fabric().topo();
+    let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
+    let mut bern = Bernoulli::new(load, cfg.packet_size, seed.wrapping_add(2));
+    let nodes = net.num_nodes();
+    for _ in 0..opts.warmup {
+        bern.cycle(nodes, |src| {
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        });
+        net.step();
+    }
+    let start = net.stats().clone();
+    net.enable_delivery_log();
+    for _ in 0..opts.measure {
+        bern.cycle(nodes, |src| {
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        });
+        net.step();
+    }
+    let w = StatsWindow::between(&start, net.stats(), opts.measure, nodes);
+    // Latency percentiles over packets *generated* during the window
+    // (excludes warmup stragglers delivered early in the window).
+    let mut lat: Vec<u32> = net
+        .take_delivery_log()
+        .into_iter()
+        .filter(|&(t, _)| t >= opts.warmup)
+        .map(|(_, l)| l)
+        .collect();
+    lat.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[((lat.len() - 1) as f64 * q) as usize] as f64
+        }
+    };
+    SteadyPoint {
+        load,
+        throughput: w.throughput(),
+        avg_latency: w.avg_latency(),
+        p50_latency: pct(0.50),
+        p99_latency: pct(0.99),
+        avg_hops: w.avg_hops(),
+        misroute_rate: w.misroute_rate(),
+        ring_entries: w.ring_entries,
+        delivered: w.delivered_packets,
+    }
+}
+
+/// A whole latency/throughput curve for one mechanism: one
+/// [`SteadyPoint`] per offered load, simulated in parallel (each point is
+/// an independent simulation).
+pub fn load_sweep(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    loads: &[f64],
+    opts: SteadyOpts,
+    seed: u64,
+) -> Vec<SteadyPoint> {
+    loads
+        .par_iter()
+        .enumerate()
+        .map(|(i, &load)| steady_state(cfg, kind, spec, load, opts, seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// Saturation throughput: accepted throughput at (near-)full offered
+/// load, the quantity plotted per offset in Fig. 2b.
+pub fn saturation_throughput(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    opts: SteadyOpts,
+    seed: u64,
+) -> f64 {
+    steady_state(cfg, kind, spec, 1.0, opts, seed).throughput
+}
+
+// ---------------------------------------------------------------------
+// Transients (Fig. 6)
+// ---------------------------------------------------------------------
+
+/// Options for a transient (pattern-switch) experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct TransientOpts {
+    /// Warmup cycles under the initial pattern.
+    pub warmup: u64,
+    /// Cycles simulated after the switch.
+    pub post: u64,
+    /// Cycles before the switch included in the reported series.
+    pub pre_window: u64,
+    /// Series bucket width in cycles.
+    pub bucket: u64,
+    /// Extra cycles (with injection continuing) so packets sent near the
+    /// end of the window still get delivered and counted.
+    pub drain: u64,
+}
+
+impl Default for TransientOpts {
+    fn default() -> Self {
+        Self {
+            warmup: 20_000,
+            post: 12_000,
+            pre_window: 2_000,
+            bucket: 200,
+            drain: 8_000,
+        }
+    }
+}
+
+/// One bucket of a transient latency series.
+#[derive(Clone, Copy, Debug)]
+pub struct TransientBucket {
+    /// Bucket start, in cycles relative to the pattern switch.
+    pub start: i64,
+    /// Mean latency of the packets *sent* during the bucket.
+    pub avg_latency: f64,
+    /// Packets sent during the bucket (and delivered before the run
+    /// ended).
+    pub sent: u64,
+}
+
+/// Latency-evolution experiment: warm up under `before`, switch to
+/// `after`, and report the average latency of the packets sent in each
+/// bucket around the switch — the paper's "latency of the packets that
+/// are sent each cycle" metric (§VI-B).
+pub fn transient(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    before: &TrafficSpec,
+    after: &TrafficSpec,
+    load: f64,
+    opts: TransientOpts,
+    seed: u64,
+) -> Vec<TransientBucket> {
+    let cfg = kind.adapt_config(cfg);
+    let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    net.enable_delivery_log();
+    let topo = *net.fabric().topo();
+    let mut gen = TrafficGen::new(&topo, before.clone(), seed.wrapping_add(1));
+    let mut bern = Bernoulli::new(load, cfg.packet_size, seed.wrapping_add(2));
+    let nodes = net.num_nodes();
+
+    let switch_at = opts.warmup;
+    let total = opts.warmup + opts.post + opts.drain;
+    for cycle in 0..total {
+        if cycle == switch_at {
+            gen.set_spec(after.clone());
+        }
+        bern.cycle(nodes, |src| {
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        });
+        net.step();
+    }
+
+    // Bucket deliveries by generation cycle, relative to the switch.
+    let lo = switch_at.saturating_sub(opts.pre_window);
+    let hi = switch_at + opts.post;
+    let nbuckets = ((hi - lo) / opts.bucket) as usize;
+    let mut sum = vec![0u64; nbuckets];
+    let mut cnt = vec![0u64; nbuckets];
+    for (injected_at, latency) in net.take_delivery_log() {
+        if injected_at < lo || injected_at >= hi {
+            continue;
+        }
+        let b = ((injected_at - lo) / opts.bucket) as usize;
+        sum[b] += u64::from(latency);
+        cnt[b] += 1;
+    }
+    (0..nbuckets)
+        .map(|b| TransientBucket {
+            start: (lo + b as u64 * opts.bucket) as i64 - switch_at as i64,
+            avg_latency: if cnt[b] == 0 {
+                0.0
+            } else {
+                sum[b] as f64 / cnt[b] as f64
+            },
+            sent: cnt[b],
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Bursts (Fig. 7)
+// ---------------------------------------------------------------------
+
+/// Result of a burst-consumption run.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstResult {
+    /// Cycles until every packet was delivered (`None` if the watchdog
+    /// declared no progress — a deadlock or livelock).
+    pub cycles: Option<u64>,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Mean latency over the burst.
+    pub avg_latency: f64,
+    /// Escape-ring entries over the whole burst.
+    pub ring_entries: u64,
+}
+
+/// Burst experiment (§VI-C): every node enqueues `packets_per_node`
+/// packets at cycle 0 (destinations drawn from `spec`) and injects as
+/// fast as possible; the result is the time to drain the network.
+pub fn burst(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    packets_per_node: usize,
+    seed: u64,
+) -> BurstResult {
+    let cfg = kind.adapt_config(cfg);
+    let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    let topo = *net.fabric().topo();
+    let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
+    let nodes = net.num_nodes();
+    for _ in 0..packets_per_node {
+        for n in 0..nodes {
+            let src = ofar_topology::NodeId::from(n);
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        }
+    }
+    // Progress watchdog: several times the worst-case path latency.
+    let watchdog = 20_000 + 50 * cfg.lat_global;
+    while !net.drained() {
+        net.step();
+        if net.now() - net.stats().last_grant > watchdog {
+            return BurstResult {
+                cycles: None,
+                delivered: net.stats().delivered_packets,
+                avg_latency: net.stats().avg_latency(),
+                ring_entries: net.stats().ring_entries,
+            };
+        }
+    }
+    BurstResult {
+        cycles: Some(net.now()),
+        delivered: net.stats().delivered_packets,
+        avg_latency: net.stats().avg_latency(),
+        ring_entries: net.stats().ring_entries,
+    }
+}
+
+/// Run the same burst for several mechanisms in parallel and return
+/// `(mechanism, result)` pairs in input order.
+pub fn burst_comparison(
+    cfg: SimConfig,
+    kinds: &[MechanismKind],
+    spec: &TrafficSpec,
+    packets_per_node: usize,
+    seed: u64,
+) -> Vec<(MechanismKind, BurstResult)> {
+    kinds
+        .par_iter()
+        .map(|&k| (k, burst(cfg, k, spec, packets_per_node, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimConfig {
+        SimConfig::paper(2)
+    }
+
+    fn quick() -> SteadyOpts {
+        SteadyOpts {
+            warmup: 1500,
+            measure: 2500,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_plausible() {
+        let p = steady_state(
+            small(),
+            MechanismKind::Ofar,
+            &TrafficSpec::uniform(),
+            0.2,
+            quick(),
+            8,
+        );
+        assert!(p.p50_latency > 0.0);
+        assert!(p.p50_latency <= p.p99_latency);
+        // the mean sits between the median and the tail under queueing
+        assert!(p.avg_latency >= p.p50_latency * 0.8);
+        assert!(p.p99_latency < 10.0 * p.avg_latency);
+    }
+
+    #[test]
+    fn min_uniform_low_load_accepts_everything() {
+        let p = steady_state(
+            small(),
+            MechanismKind::Min,
+            &TrafficSpec::uniform(),
+            0.1,
+            quick(),
+            1,
+        );
+        assert!(
+            (p.throughput - 0.1).abs() < 0.02,
+            "low-load throughput {} ≉ offered 0.1",
+            p.throughput
+        );
+        assert!(p.avg_latency > 0.0 && p.avg_latency < 400.0);
+    }
+
+    #[test]
+    fn valiant_halves_uniform_capacity() {
+        // VAL doubles global-link usage: accepted < MIN's at high load.
+        let v = steady_state(
+            small(),
+            MechanismKind::Valiant,
+            &TrafficSpec::uniform(),
+            0.9,
+            quick(),
+            1,
+        );
+        let m = steady_state(
+            small(),
+            MechanismKind::Min,
+            &TrafficSpec::uniform(),
+            0.9,
+            quick(),
+            1,
+        );
+        assert!(
+            v.throughput < m.throughput,
+            "VAL {} must be below MIN {} under UN",
+            v.throughput,
+            m.throughput
+        );
+    }
+
+    #[test]
+    fn transient_series_has_expected_shape() {
+        let opts = TransientOpts {
+            warmup: 2000,
+            post: 1500,
+            pre_window: 500,
+            bucket: 250,
+            drain: 2000,
+        };
+        let series = transient(
+            small(),
+            MechanismKind::Ofar,
+            &TrafficSpec::uniform(),
+            &TrafficSpec::adversarial(2),
+            0.08,
+            opts,
+            3,
+        );
+        assert_eq!(series.len(), ((500 + 1500) / 250) as usize);
+        assert_eq!(series[0].start, -500);
+        assert!(series.iter().all(|b| b.sent > 0), "every bucket measured");
+    }
+
+    #[test]
+    fn burst_drains_and_reports_cycles() {
+        let r = burst(
+            small(),
+            MechanismKind::Ofar,
+            &TrafficSpec::uniform(),
+            3,
+            9,
+        );
+        let cycles = r.cycles.expect("burst must drain");
+        assert!(cycles > 0);
+        // 3 packets * nodes delivered
+        assert_eq!(r.delivered, 3 * 72);
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulator configuration.
+//!
+//! Defaults reproduce the methodology of §V of the paper: packets of
+//! 8 phits, 3 VCs on local links and injection queues, 2 VCs on global
+//! links, 32-phit local FIFOs, 256-phit global FIFOs, 10-cycle local and
+//! 100-cycle global link latencies, and an iterative separable batch
+//! allocator with three iterations.
+
+use ofar_topology::DragonflyParams;
+
+/// How the escape subnetwork is realized (§IV-C, §VII).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RingMode {
+    /// No escape ring. Only safe for routings that are deadlock-free by
+    /// VC ordering (MIN, VAL, PB, PAR).
+    #[default]
+    None,
+    /// A dedicated physical ring: two extra ports per router and one
+    /// extra (uni-directional pair) wire per router.
+    Physical,
+    /// The ring embedded on the base topology: one extra *escape* virtual
+    /// channel on each link that belongs to the Hamiltonian cycle.
+    Embedded,
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Topology sizing.
+    pub params: DragonflyParams,
+    /// Packet size in phits (paper: 8).
+    pub packet_size: usize,
+    /// Virtual channels per local-link input (paper: 3).
+    pub vcs_local: usize,
+    /// Virtual channels per global-link input (paper: 2).
+    pub vcs_global: usize,
+    /// Virtual channels per injection queue (paper: 3).
+    pub vcs_injection: usize,
+    /// Virtual channels on the physical ring ports (paper: same as local,
+    /// "for regularity").
+    pub vcs_ring: usize,
+    /// Capacity of each local-link VC FIFO, in phits (paper: 32).
+    pub buf_local: usize,
+    /// Capacity of each global-link VC FIFO, in phits (paper: 256).
+    pub buf_global: usize,
+    /// Capacity of each injection VC FIFO, in phits.
+    pub buf_injection: usize,
+    /// Capacity of each ring VC FIFO, in phits (physical and embedded).
+    pub buf_ring: usize,
+    /// Local link latency in cycles (paper: 10).
+    pub lat_local: u64,
+    /// Global link latency in cycles (paper: 100).
+    pub lat_global: u64,
+    /// Iterations of the separable batch allocator (paper: 3).
+    pub alloc_iters: usize,
+    /// Escape subnetwork model.
+    pub ring: RingMode,
+    /// Maximum number of times a packet may abandon the escape ring
+    /// (livelock bound, §IV-C). Ejection never counts.
+    pub max_ring_exits: u8,
+    /// Number of escape rings to embed/attach (§VII fault-tolerance
+    /// extension; up to `h` pairwise edge-disjoint rings exist).
+    pub escape_rings: usize,
+    /// RNG seed (packet destinations are chosen by the traffic layer; the
+    /// engine RNG covers allocator and misroute tie-breaking).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's §V configuration for a balanced maximum-size Dragonfly
+    /// with the given `h` (the paper evaluates `h = 6`).
+    pub fn paper(h: usize) -> Self {
+        Self {
+            params: DragonflyParams::balanced(h),
+            packet_size: 8,
+            vcs_local: 3,
+            vcs_global: 2,
+            vcs_injection: 3,
+            vcs_ring: 3,
+            buf_local: 32,
+            buf_global: 256,
+            buf_injection: 32,
+            buf_ring: 32,
+            lat_local: 10,
+            lat_global: 100,
+            alloc_iters: 3,
+            ring: RingMode::None,
+            max_ring_exits: 4,
+            escape_rings: 1,
+            seed: 0xD5A6_0F17,
+        }
+    }
+
+    /// The reduced-resource configuration of Fig. 9: 2 VCs on local links
+    /// and 1 on global links, embedded ring.
+    pub fn reduced_vcs(h: usize) -> Self {
+        Self {
+            vcs_local: 2,
+            vcs_global: 1,
+            vcs_injection: 2,
+            ring: RingMode::Embedded,
+            ..Self::paper(h)
+        }
+    }
+
+    /// Override the escape ring model.
+    pub fn with_ring(mut self, ring: RingMode) -> Self {
+        self.ring = ring;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Packet capacity (in whole packets) of a buffer of `phits` phits.
+    #[inline]
+    pub fn packets_in(&self, phits: usize) -> usize {
+        phits / self.packet_size
+    }
+
+    /// Validate invariants the engine depends on.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.packet_size == 0 {
+            return Err("packet_size must be positive".into());
+        }
+        for (name, cap) in [
+            ("buf_local", self.buf_local),
+            ("buf_global", self.buf_global),
+            ("buf_injection", self.buf_injection),
+        ] {
+            if cap < self.packet_size {
+                return Err(format!(
+                    "{name} ({cap} phits) cannot hold one {}-phit packet (VCT needs whole-packet buffers)",
+                    self.packet_size
+                ));
+            }
+        }
+        if self.ring != RingMode::None && self.buf_ring < 2 * self.packet_size {
+            return Err(format!(
+                "buf_ring ({} phits) must hold two packets for the bubble condition",
+                self.buf_ring
+            ));
+        }
+        if self.vcs_local == 0 || self.vcs_global == 0 || self.vcs_injection == 0 {
+            return Err("every link class needs at least one VC".into());
+        }
+        if self.ring == RingMode::Physical && self.vcs_ring == 0 {
+            return Err("physical ring needs at least one VC".into());
+        }
+        if self.alloc_iters == 0 {
+            return Err("allocator needs at least one iteration".into());
+        }
+        if self.ring != RingMode::None {
+            if self.escape_rings == 0 {
+                return Err("an escape subnetwork needs at least one ring".into());
+            }
+            if self.escape_rings > self.params.h {
+                return Err(format!(
+                    "at most h = {} edge-disjoint escape rings exist (requested {})",
+                    self.params.h, self.escape_rings
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_methodology() {
+        let c = SimConfig::paper(6);
+        assert_eq!(c.packet_size, 8);
+        assert_eq!((c.vcs_local, c.vcs_global, c.vcs_injection), (3, 2, 3));
+        assert_eq!((c.buf_local, c.buf_global), (32, 256));
+        assert_eq!((c.lat_local, c.lat_global), (10, 100));
+        assert_eq!(c.alloc_iters, 3);
+        assert_eq!(c.params.nodes(), 5256);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn reduced_vc_config_matches_fig9() {
+        let c = SimConfig::reduced_vcs(4);
+        assert_eq!((c.vcs_local, c.vcs_global), (2, 1));
+        assert_eq!(c.ring, RingMode::Embedded);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_sub_packet_buffers() {
+        let mut c = SimConfig::paper(2);
+        c.buf_local = 4;
+        assert!(c.validate().unwrap_err().contains("buf_local"));
+    }
+
+    #[test]
+    fn validation_rejects_bubble_less_ring_buffers() {
+        let mut c = SimConfig::paper(2).with_ring(RingMode::Embedded);
+        c.buf_ring = 8;
+        assert!(c.validate().unwrap_err().contains("bubble"));
+    }
+}

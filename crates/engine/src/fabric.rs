@@ -1,0 +1,676 @@
+//! Static port wiring ("fabric"): how router ports map onto topology
+//! links, how many VCs and how much buffering each port has, and where
+//! the escape ring(s) run.
+//!
+//! Port layout per router (identical for every router):
+//!
+//! * inputs — `0 .. p` injection, `p .. p+a−1` local, `p+a−1 .. p+a−1+h`
+//!   global, plus one ring input *per escape ring* in the physical-ring
+//!   model;
+//! * outputs — `0 .. p` ejection, then local, global and ring in the same
+//!   order.
+//!
+//! The canonical port count is `p + a − 1 + h` (the paper's `4h − 1` for
+//! balanced networks); each physical ring adds the two extra ports noted
+//! in §VII.
+//!
+//! Multiple escape rings (the §VII fault-tolerance extension) are
+//! supported in both models. The rings are pairwise edge-disjoint, so in
+//! the embedded model every input port is the landing of **at most one**
+//! ring and carries at most one extra escape VC.
+
+use crate::config::{RingMode, SimConfig};
+use ofar_topology::{Dragonfly, HamiltonianRing, RingEdge, RouterId};
+
+/// Port class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// Injection (input) / ejection (output) port of one attached node.
+    Node,
+    /// Local (intra-group) link.
+    Local,
+    /// Global (inter-group) link.
+    Global,
+    /// Dedicated physical escape-ring link.
+    Ring,
+}
+
+/// Resolved output port: where the link lands and what the downstream
+/// buffering looks like.
+#[derive(Clone, Copy, Debug)]
+pub struct OutLink {
+    /// Port class.
+    pub kind: PortKind,
+    /// Downstream router (== own router for ejection ports).
+    pub dst_router: u32,
+    /// Downstream input-port index (unused for ejection ports).
+    pub dst_port: u16,
+    /// Link latency in cycles (0 for ejection).
+    pub latency: u32,
+    /// Downstream VC count (mirrors the input port's VC count).
+    pub vcs: u8,
+}
+
+/// Input-port descriptor.
+#[derive(Clone, Copy, Debug)]
+pub struct InDesc {
+    /// Port class.
+    pub kind: PortKind,
+    /// Number of VCs (includes the embedded escape VC when this input is
+    /// a ring's landing link).
+    pub vcs: u8,
+    /// Upstream router (`u32::MAX` for injection ports).
+    pub up_router: u32,
+    /// Upstream output-port index.
+    pub up_port: u16,
+    /// Upstream link latency (credit return delay), 0 for injection.
+    pub latency: u32,
+}
+
+/// The escape output of a router for one ring: which output port and VC
+/// range reach the next router along that ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EscapeOut {
+    /// Output port index.
+    pub out_port: u16,
+    /// First escape VC index at the downstream input.
+    pub base_vc: u8,
+    /// Number of escape VCs (1 for embedded, `vcs_ring` for physical).
+    pub num_vcs: u8,
+}
+
+/// Immutable wiring of the whole network.
+pub struct Fabric {
+    topo: Dragonfly,
+    cfg: SimConfig,
+    rings: Vec<HamiltonianRing>,
+    n_in: usize,
+    n_out: usize,
+    n_canonical: usize,
+    out_links: Vec<OutLink>,
+    in_descs: Vec<InDesc>,
+    /// `[router × rings]` escape outputs.
+    escapes: Vec<EscapeOut>,
+    /// Per (router, input port): `(ring index, escape VC)` when the port
+    /// is a ring landing; ring index −1 otherwise.
+    ring_landing: Vec<(i8, u8)>,
+}
+
+impl Fabric {
+    /// Build the wiring for a configuration, embedding
+    /// `cfg.escape_rings` pairwise edge-disjoint rings when an escape
+    /// subnetwork is configured.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        let topo = Dragonfly::new(cfg.params);
+        let rings = match cfg.ring {
+            RingMode::None => Vec::new(),
+            _ => HamiltonianRing::embed_disjoint(&topo, cfg.escape_rings),
+        };
+        Self::with_rings(cfg, rings)
+    }
+
+    /// Build the wiring with one explicit ring (compatibility shortcut
+    /// for [`Self::with_rings`]).
+    pub fn with_ring(cfg: SimConfig, ring: Option<HamiltonianRing>) -> Self {
+        Self::with_rings(cfg, ring.into_iter().collect())
+    }
+
+    /// Build the wiring with an explicit ring family (must be non-empty
+    /// exactly when `cfg.ring != RingMode::None`). The rings must be
+    /// pairwise edge-disjoint in the embedded model — each link can host
+    /// only one escape VC.
+    pub fn with_rings(cfg: SimConfig, rings: Vec<HamiltonianRing>) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        assert_eq!(
+            !rings.is_empty(),
+            cfg.ring != RingMode::None,
+            "ring presence must match RingMode"
+        );
+        let topo = Dragonfly::new(cfg.params);
+        if cfg.ring == RingMode::Embedded && rings.len() > 1 {
+            assert!(
+                HamiltonianRing::pairwise_edge_disjoint(&topo, &rings),
+                "embedded escape rings must be edge-disjoint"
+            );
+        }
+        let p = cfg.params.p;
+        let a = cfg.params.a;
+        let h = cfg.params.h;
+        let k = rings.len();
+        let physical = cfg.ring == RingMode::Physical;
+        let n_canonical = p + (a - 1) + h;
+        let extra = if physical { k } else { 0 };
+        let n_in = n_canonical + extra;
+        let n_out = n_canonical + extra;
+        let nr = topo.num_routers();
+
+        let mut fab = Self {
+            topo,
+            cfg,
+            rings,
+            n_in,
+            n_out,
+            n_canonical,
+            out_links: Vec::with_capacity(nr * n_out),
+            in_descs: vec![
+                InDesc {
+                    kind: PortKind::Node,
+                    vcs: 0,
+                    up_router: u32::MAX,
+                    up_port: 0,
+                    latency: 0,
+                };
+                nr * n_in
+            ],
+            escapes: Vec::with_capacity(nr * k),
+            ring_landing: vec![(-1, 0); nr * n_in],
+        };
+
+        // Base VC counts per input kind.
+        let base_vcs = |kind: PortKind| -> u8 {
+            match kind {
+                PortKind::Node => cfg.vcs_injection as u8,
+                PortKind::Local => cfg.vcs_local as u8,
+                PortKind::Global => cfg.vcs_global as u8,
+                PortKind::Ring => cfg.vcs_ring as u8,
+            }
+        };
+
+        // 1. Input descriptors (upstream info filled below).
+        for r in 0..nr {
+            for port in 0..n_in {
+                let kind = fab.in_kind(port);
+                fab.in_descs[r * n_in + port] = InDesc {
+                    kind,
+                    vcs: base_vcs(kind),
+                    up_router: u32::MAX,
+                    up_port: 0,
+                    latency: 0,
+                };
+            }
+        }
+
+        // Ring landings: in the embedded model the landing input of each
+        // ring edge gains one escape VC; in the physical model ring `j`
+        // owns the dedicated input `n_canonical + j`.
+        if cfg.ring == RingMode::Embedded {
+            for j in 0..k {
+                let ring = fab.rings[j].clone();
+                for &r in ring.order() {
+                    let edge = ring.edge_from(r);
+                    let (dst, dst_port) = fab.resolve_edge(edge);
+                    let d = &mut fab.in_descs[dst.idx() * n_in + dst_port];
+                    let esc_vc = d.vcs;
+                    d.vcs += 1;
+                    let slot = &mut fab.ring_landing[dst.idx() * n_in + dst_port];
+                    assert_eq!(slot.0, -1, "two rings landing on one link");
+                    *slot = (j as i8, esc_vc);
+                }
+            }
+        } else if physical {
+            for r in 0..nr {
+                for j in 0..k {
+                    fab.ring_landing[r * n_in + n_canonical + j] = (j as i8, 0);
+                }
+            }
+        }
+
+        // 2. Output links.
+        for r in 0..nr {
+            let rid = RouterId::from(r);
+            for port in 0..n_out {
+                let link = fab.build_out_link(rid, port);
+                fab.out_links.push(link);
+            }
+        }
+
+        // 3. Upstream (credit-return) info on inputs.
+        for r in 0..nr {
+            for port in 0..n_out {
+                let link = fab.out_links[r * n_out + port];
+                if link.kind == PortKind::Node {
+                    continue; // ejection: no downstream input port
+                }
+                let d = &mut fab.in_descs[link.dst_router as usize * n_in + link.dst_port as usize];
+                d.up_router = r as u32;
+                d.up_port = port as u16;
+                d.latency = link.latency;
+            }
+        }
+
+        // 4. Escape outputs, `[router × rings]`.
+        for r in 0..nr {
+            let rid = RouterId::from(r);
+            for j in 0..k {
+                let esc = if physical {
+                    EscapeOut {
+                        out_port: (n_canonical + j) as u16,
+                        base_vc: 0,
+                        num_vcs: cfg.vcs_ring as u8,
+                    }
+                } else {
+                    let (out_port, base) = match fab.rings[j].edge_from(rid) {
+                        RingEdge::Local { port, .. } => (fab.local_out(port), cfg.vcs_local as u8),
+                        RingEdge::Global { port, .. } => {
+                            (fab.global_out(port), cfg.vcs_global as u8)
+                        }
+                    };
+                    EscapeOut {
+                        out_port: out_port as u16,
+                        base_vc: base,
+                        num_vcs: 1,
+                    }
+                };
+                fab.escapes.push(esc);
+            }
+        }
+
+        fab
+    }
+
+    fn resolve_edge(&self, edge: RingEdge) -> (RouterId, usize) {
+        match edge {
+            RingEdge::Local { from, port } => {
+                let dst = self.topo.local_neighbor(from, port);
+                (dst, self.local_in(self.topo.local_port_to(dst, from)))
+            }
+            RingEdge::Global { from, port } => {
+                let (dst, rport) = self.topo.global_neighbor(from, port);
+                (dst, self.global_in(rport))
+            }
+        }
+    }
+
+    fn build_out_link(&self, r: RouterId, port: usize) -> OutLink {
+        let p = self.cfg.params.p;
+        let a = self.cfg.params.a;
+        let h = self.cfg.params.h;
+        if port < p {
+            return OutLink {
+                kind: PortKind::Node,
+                dst_router: r.0,
+                dst_port: 0,
+                latency: 0,
+                vcs: 1,
+            };
+        }
+        let port_rel = port - p;
+        if port_rel < a - 1 {
+            let dst = self.topo.local_neighbor(r, port_rel);
+            let dst_port = self.local_in(self.topo.local_port_to(dst, r));
+            let vcs = self.in_descs[dst.idx() * self.n_in + dst_port].vcs;
+            return OutLink {
+                kind: PortKind::Local,
+                dst_router: dst.0,
+                dst_port: dst_port as u16,
+                latency: self.cfg.lat_local as u32,
+                vcs,
+            };
+        }
+        let k = port_rel - (a - 1);
+        if k < h {
+            let (dst, rk) = self.topo.global_neighbor(r, k);
+            let dst_port = self.global_in(rk);
+            let vcs = self.in_descs[dst.idx() * self.n_in + dst_port].vcs;
+            return OutLink {
+                kind: PortKind::Global,
+                dst_router: dst.0,
+                dst_port: dst_port as u16,
+                latency: self.cfg.lat_global as u32,
+                vcs,
+            };
+        }
+        // Physical ring output `j`: to the next router along ring `j`.
+        // The wire spans the same distance as the underlying topology
+        // step, so it gets the matching latency class.
+        let j = port - self.n_canonical;
+        let ring = &self.rings[j];
+        let dst = ring.next_router(r);
+        let latency = match ring.edge_from(r) {
+            RingEdge::Local { .. } => self.cfg.lat_local as u32,
+            RingEdge::Global { .. } => self.cfg.lat_global as u32,
+        };
+        OutLink {
+            kind: PortKind::Ring,
+            dst_router: dst.0,
+            dst_port: (self.n_canonical + j) as u16,
+            latency,
+            vcs: self.cfg.vcs_ring as u8,
+        }
+    }
+
+    // ----- index helpers ------------------------------------------------
+
+    /// Input ports per router.
+    #[inline]
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output ports per router.
+    #[inline]
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Canonical (non-ring) ports per router.
+    #[inline]
+    pub fn n_canonical(&self) -> usize {
+        self.n_canonical
+    }
+
+    /// Class of input port `port`.
+    #[inline]
+    pub fn in_kind(&self, port: usize) -> PortKind {
+        let p = self.cfg.params.p;
+        let a = self.cfg.params.a;
+        let h = self.cfg.params.h;
+        if port < p {
+            PortKind::Node
+        } else if port < p + a - 1 {
+            PortKind::Local
+        } else if port < p + a - 1 + h {
+            PortKind::Global
+        } else {
+            PortKind::Ring
+        }
+    }
+
+    /// Class of output port `port` (layout mirrors inputs).
+    #[inline]
+    pub fn out_kind(&self, port: usize) -> PortKind {
+        self.in_kind(port)
+    }
+
+    /// Input-port index of injection port `node` (`0 .. p`).
+    #[inline]
+    pub fn inj_in(&self, node: usize) -> usize {
+        debug_assert!(node < self.cfg.params.p);
+        node
+    }
+
+    /// Input-port index of local port `j` (`0 .. a−1`).
+    #[inline]
+    pub fn local_in(&self, j: usize) -> usize {
+        self.cfg.params.p + j
+    }
+
+    /// Input-port index of global port `k` (`0 .. h`).
+    #[inline]
+    pub fn global_in(&self, k: usize) -> usize {
+        self.cfg.params.p + self.cfg.params.a - 1 + k
+    }
+
+    /// Output-port index of ejection port `node`.
+    #[inline]
+    pub fn eject_out(&self, node: usize) -> usize {
+        debug_assert!(node < self.cfg.params.p);
+        node
+    }
+
+    /// Output-port index of local port `j`.
+    #[inline]
+    pub fn local_out(&self, j: usize) -> usize {
+        self.cfg.params.p + j
+    }
+
+    /// Output-port index of global port `k`.
+    #[inline]
+    pub fn global_out(&self, k: usize) -> usize {
+        self.cfg.params.p + self.cfg.params.a - 1 + k
+    }
+
+    /// Local-port index (`0 .. a−1`) of local output `port`, if it is one.
+    #[inline]
+    pub fn local_port_of_out(&self, port: usize) -> Option<usize> {
+        let p = self.cfg.params.p;
+        (self.out_kind(port) == PortKind::Local).then(|| port - p)
+    }
+
+    /// Global-port index (`0 .. h`) of global output `port`, if it is one.
+    #[inline]
+    pub fn global_port_of_out(&self, port: usize) -> Option<usize> {
+        let p = self.cfg.params.p;
+        let a = self.cfg.params.a;
+        (self.out_kind(port) == PortKind::Global).then(|| port - p - (a - 1))
+    }
+
+    // ----- lookups -------------------------------------------------------
+
+    /// The resolved output link of (`router`, `port`).
+    #[inline]
+    pub fn out_link(&self, router: RouterId, port: usize) -> &OutLink {
+        &self.out_links[router.idx() * self.n_out + port]
+    }
+
+    /// The input-port descriptor of (`router`, `port`).
+    #[inline]
+    pub fn in_desc(&self, router: RouterId, port: usize) -> &InDesc {
+        &self.in_descs[router.idx() * self.n_in + port]
+    }
+
+    /// Per-VC buffer capacity (phits) of an input port, by VC index
+    /// (escape VCs use `buf_ring`).
+    #[inline]
+    pub fn in_capacity(&self, router: RouterId, port: usize, vc: usize) -> usize {
+        let d = self.in_desc(router, port);
+        let base = match d.kind {
+            PortKind::Node => self.cfg.buf_injection,
+            PortKind::Local => self.cfg.buf_local,
+            PortKind::Global => self.cfg.buf_global,
+            PortKind::Ring => self.cfg.buf_ring,
+        };
+        // The embedded escape VC is the extra, last VC of a canonical port.
+        let base_vcs = match d.kind {
+            PortKind::Node => self.cfg.vcs_injection,
+            PortKind::Local => self.cfg.vcs_local,
+            PortKind::Global => self.cfg.vcs_global,
+            PortKind::Ring => self.cfg.vcs_ring,
+        };
+        if d.kind != PortKind::Ring && vc >= base_vcs {
+            self.cfg.buf_ring
+        } else {
+            base
+        }
+    }
+
+    /// Escape outputs of a router, one per configured ring.
+    #[inline]
+    pub fn escapes(&self, router: RouterId) -> &[EscapeOut] {
+        let k = self.rings.len();
+        &self.escapes[router.idx() * k..router.idx() * k + k]
+    }
+
+    /// The primary escape output of a router (`None` when no ring is
+    /// configured).
+    #[inline]
+    pub fn escape(&self, router: RouterId) -> Option<EscapeOut> {
+        self.escapes(router).first().copied()
+    }
+
+    /// When (`port`, `vc`) of `router` is an escape-ring landing buffer,
+    /// the index of the ring it belongs to.
+    #[inline]
+    pub fn ring_of_input(&self, router: RouterId, port: usize, vc: usize) -> Option<usize> {
+        let (ring, esc_vc) = self.ring_landing[router.idx() * self.n_in + port];
+        if ring < 0 {
+            return None;
+        }
+        let physical = self.cfg.ring == RingMode::Physical;
+        (physical || vc == esc_vc as usize).then_some(ring as usize)
+    }
+
+    /// Topology accessor.
+    #[inline]
+    pub fn topo(&self) -> &Dragonfly {
+        &self.topo
+    }
+
+    /// Configuration accessor.
+    #[inline]
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The escape-ring family.
+    #[inline]
+    pub fn rings(&self) -> &[HamiltonianRing] {
+        &self.rings
+    }
+
+    /// The primary escape ring, if any.
+    #[inline]
+    pub fn ring(&self) -> Option<&HamiltonianRing> {
+        self.rings.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_port_count_is_4h_minus_1() {
+        let fab = Fabric::new(SimConfig::paper(3));
+        assert_eq!(fab.n_in(), 4 * 3 - 1);
+        assert_eq!(fab.n_out(), 4 * 3 - 1);
+    }
+
+    #[test]
+    fn physical_ring_adds_two_ports() {
+        let fab = Fabric::new(SimConfig::paper(3).with_ring(RingMode::Physical));
+        assert_eq!(fab.n_in(), 4 * 3);
+        assert_eq!(fab.n_out(), 4 * 3);
+        assert_eq!(fab.in_kind(fab.n_in() - 1), PortKind::Ring);
+        // every router has an escape output on the ring port
+        for r in 0..fab.topo().num_routers() {
+            let esc = fab.escape(RouterId::from(r)).unwrap();
+            assert_eq!(esc.out_port as usize, fab.n_out() - 1);
+            assert_eq!(esc.num_vcs as usize, fab.cfg().vcs_ring);
+        }
+    }
+
+    #[test]
+    fn out_links_mirror_in_descs() {
+        for ring in [RingMode::None, RingMode::Physical, RingMode::Embedded] {
+            let fab = Fabric::new(SimConfig::paper(2).with_ring(ring));
+            for r in 0..fab.topo().num_routers() {
+                let rid = RouterId::from(r);
+                for port in 0..fab.n_out() {
+                    let link = fab.out_link(rid, port);
+                    if link.kind == PortKind::Node {
+                        assert_eq!(link.dst_router, rid.0);
+                        continue;
+                    }
+                    let d = fab.in_desc(RouterId::new(link.dst_router), link.dst_port as usize);
+                    assert_eq!(d.kind, link.kind, "r={r} port={port}");
+                    assert_eq!(d.vcs, link.vcs, "r={r} port={port}");
+                    assert_eq!(d.up_router, rid.0, "r={r} port={port}");
+                    assert_eq!(d.up_port as usize, port, "r={r} port={port}");
+                    assert_eq!(d.latency, link.latency);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_ring_adds_one_vc_on_each_ring_landing() {
+        let cfg = SimConfig::paper(2).with_ring(RingMode::Embedded);
+        let fab = Fabric::new(cfg);
+        let nr = fab.topo().num_routers();
+        // Each router has exactly one incoming ring edge, so exactly one
+        // input port network-wide per router carries an extra VC.
+        let mut extra = 0usize;
+        for r in 0..nr {
+            let rid = RouterId::from(r);
+            for port in 0..fab.n_in() {
+                let d = fab.in_desc(rid, port);
+                let base = match d.kind {
+                    PortKind::Node => cfg.vcs_injection,
+                    PortKind::Local => cfg.vcs_local,
+                    PortKind::Global => cfg.vcs_global,
+                    PortKind::Ring => cfg.vcs_ring,
+                };
+                if d.vcs as usize == base + 1 {
+                    extra += 1;
+                    // escape VC uses the ring buffer size
+                    assert_eq!(fab.in_capacity(rid, port, base), cfg.buf_ring);
+                    assert_eq!(fab.ring_of_input(rid, port, base), Some(0));
+                    assert_eq!(fab.ring_of_input(rid, port, 0), None);
+                } else {
+                    assert_eq!(d.vcs as usize, base);
+                }
+            }
+            assert!(fab.escape(rid).is_some());
+        }
+        assert_eq!(extra, nr, "one ring landing per router");
+    }
+
+    #[test]
+    fn escape_out_points_at_next_ring_router() {
+        let cfg = SimConfig::paper(2).with_ring(RingMode::Embedded);
+        let fab = Fabric::new(cfg);
+        let ring = fab.ring().unwrap().clone();
+        for &r in ring.order() {
+            let esc = fab.escape(r).unwrap();
+            let link = fab.out_link(r, esc.out_port as usize);
+            assert_eq!(link.dst_router, ring.next_router(r).0);
+            assert_eq!(esc.num_vcs, 1);
+            // the escape VC is the downstream input's last VC
+            assert_eq!(esc.base_vc, link.vcs - 1);
+        }
+    }
+
+    #[test]
+    fn multiple_embedded_rings_wire_disjoint_escape_vcs() {
+        let mut cfg = SimConfig::paper(2).with_ring(RingMode::Embedded);
+        cfg.escape_rings = 2;
+        let fab = Fabric::new(cfg);
+        let nr = fab.topo().num_routers();
+        for r in 0..nr {
+            let rid = RouterId::from(r);
+            let escapes = fab.escapes(rid);
+            assert_eq!(escapes.len(), 2);
+            // the two escape outputs lead to the two rings' successors
+            for (j, esc) in escapes.iter().enumerate() {
+                let link = fab.out_link(rid, esc.out_port as usize);
+                assert_eq!(link.dst_router, fab.rings()[j].next_router(rid).0);
+                let landing = fab.ring_of_input(
+                    RouterId::new(link.dst_router),
+                    link.dst_port as usize,
+                    esc.base_vc as usize,
+                );
+                assert_eq!(landing, Some(j));
+            }
+        }
+        // exactly 2 landings per router
+        let landings: usize = (0..nr)
+            .map(|r| {
+                (0..fab.n_in())
+                    .filter(|&p| {
+                        let d = fab.in_desc(RouterId::from(r), p);
+                        fab.ring_of_input(RouterId::from(r), p, d.vcs as usize - 1)
+                            .is_some()
+                    })
+                    .count()
+            })
+            .sum();
+        assert_eq!(landings, 2 * nr);
+    }
+
+    #[test]
+    fn multiple_physical_rings_add_port_pairs() {
+        let mut cfg = SimConfig::paper(2).with_ring(RingMode::Physical);
+        cfg.escape_rings = 2;
+        let fab = Fabric::new(cfg);
+        assert_eq!(fab.n_in(), fab.n_canonical() + 2);
+        for r in 0..fab.topo().num_routers() {
+            let rid = RouterId::from(r);
+            assert_eq!(fab.escapes(rid).len(), 2);
+            for j in 0..2 {
+                assert_eq!(fab.ring_of_input(rid, fab.n_canonical() + j, 0), Some(j));
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # ofar-engine
+//!
+//! A cycle-accurate network simulator for Dragonfly topologies,
+//! reproducing the evaluation substrate of *On-the-Fly Adaptive Routing
+//! in High-Radix Hierarchical Networks* (García et al., ICPP 2012, §V):
+//!
+//! * single-cycle, input-FIFO-buffered **virtual cut-through** routers;
+//! * credit-based flow control in phits, whole-packet granularity;
+//! * an **iterative separable batch allocator** (3 iterations) with
+//!   least-recently-served arbiters, after Gupta & McKeown;
+//! * per-cycle re-evaluated routing decisions at every input VC head;
+//! * optional **escape subnetwork** — a physical or embedded Hamiltonian
+//!   ring with bubble flow control and restricted injection (§IV-C).
+//!
+//! The engine is routing-agnostic: mechanisms implement the
+//! [`policy::Policy`] trait (see the `ofar-routing` crate for MIN,
+//! Valiant, Piggybacking, PAR, OFAR and OFAR-L).
+
+pub mod buffer;
+pub mod config;
+pub mod fabric;
+pub mod network;
+pub mod packet;
+pub mod policy;
+pub mod router;
+pub mod stats;
+
+pub use config::{RingMode, SimConfig};
+pub use fabric::{EscapeOut, Fabric, InDesc, OutLink, PortKind};
+pub use network::Network;
+pub use packet::{
+    Packet, Request, RequestKind, FLAG_AUX, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,
+    FLAG_ON_RING,
+};
+pub use policy::{InputCtx, NetSnapshot, Policy, RouterView};
+pub use stats::{Stats, StatsWindow};

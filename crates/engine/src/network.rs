@@ -1,0 +1,639 @@
+//! The network simulator: per-cycle arrival/injection/allocation loop.
+//!
+//! The model follows §V of the paper:
+//!
+//! * single-cycle, input-FIFO-buffered virtual cut-through routers;
+//! * one phit per cycle per link and crossbar port, no internal speedup;
+//! * credit-based flow control with whole-packet granularity;
+//! * an iterative separable batch allocator (default 3 iterations) with
+//!   least-recently-served arbiters at both stages;
+//! * routing decisions taken at the head of each input VC and revisited
+//!   every cycle until the packet is granted.
+
+use crate::config::SimConfig;
+use crate::fabric::{Fabric, PortKind};
+use crate::packet::{
+    Packet, Request, RequestKind, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED, FLAG_ON_RING,
+};
+use crate::policy::{InputCtx, NetSnapshot, Policy, RouterView};
+use crate::router::RouterStore;
+use crate::stats::Stats;
+use ofar_topology::{NodeId, RouterId};
+use std::collections::VecDeque;
+
+/// Deferred cross-router side effects of a grant.
+enum Effect {
+    /// Packet arrives at (`router`, `port`) VC `vc` at cycle `at`.
+    Arrival {
+        router: u32,
+        port: u16,
+        vc: u8,
+        at: u64,
+        pkt: Packet,
+    },
+    /// `phits` credits return to output (`router`, `port`) VC `vc` at
+    /// cycle `at`.
+    Credit {
+        router: u32,
+        port: u16,
+        vc: u8,
+        phits: u32,
+        at: u64,
+    },
+}
+
+/// A network simulation bound to one routing [`Policy`].
+pub struct Network<P: Policy> {
+    fab: Fabric,
+    routers: Vec<RouterStore>,
+    policy: P,
+    now: u64,
+    next_id: u64,
+    /// Unbounded per-node source queues (latency includes time spent
+    /// here, which is how saturation becomes visible in latency curves).
+    src_q: Vec<VecDeque<Packet>>,
+    /// Node→injection-buffer transfer is serialized at 1 phit/cycle.
+    inj_busy: Vec<u64>,
+    stats: Stats,
+    /// Optional per-delivery log: (generation cycle, latency).
+    delivered_log: Option<Vec<(u64, u32)>>,
+    /// Optional per-output-port phit counters (link utilization).
+    link_phits: Option<Vec<u64>>,
+    // reusable scratch
+    effects: Vec<Effect>,
+    reqs: Vec<(u16, u8, Request)>,
+    matched_in: Vec<bool>,
+    matched_out: Vec<bool>,
+    grants: Vec<(u16, u8, Request)>,
+    best_out: Vec<Option<(u64, u16, u32)>>,
+}
+
+impl<P: Policy> Network<P> {
+    /// Build a network with the default escape-ring choice implied by
+    /// `cfg.ring`.
+    pub fn new(cfg: SimConfig, policy: P) -> Self {
+        Self::with_fabric(Fabric::new(cfg), policy)
+    }
+
+    /// Build a network over a pre-built [`Fabric`] (e.g. with one of the
+    /// alternative disjoint escape rings of §VII).
+    pub fn with_fabric(fab: Fabric, policy: P) -> Self {
+        assert!(
+            !policy.needs_ring() || fab.escape(RouterId::new(0)).is_some(),
+            "{} requires an escape ring (SimConfig::ring)",
+            policy.name()
+        );
+        let nr = fab.topo().num_routers();
+        let nodes = fab.topo().num_nodes();
+        let routers = (0..nr)
+            .map(|r| RouterStore::new(&fab, RouterId::from(r)))
+            .collect();
+        let n_in = fab.n_in();
+        let n_out = fab.n_out();
+        Self {
+            routers,
+            policy,
+            now: 0,
+            next_id: 0,
+            src_q: vec![VecDeque::new(); nodes],
+            inj_busy: vec![0; nodes],
+            stats: Stats::default(),
+            delivered_log: None,
+            link_phits: None,
+            effects: Vec::with_capacity(256),
+            reqs: Vec::with_capacity(n_in * 4),
+            matched_in: vec![false; n_in],
+            matched_out: vec![false; n_out],
+            grants: Vec::with_capacity(n_in),
+            best_out: vec![None; n_out],
+            fab,
+        }
+    }
+
+    // ----- accessors ---------------------------------------------------
+
+    /// Current cycle.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics counters.
+    #[inline]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Static wiring.
+    #[inline]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fab
+    }
+
+    /// Configuration shortcut.
+    #[inline]
+    pub fn cfg(&self) -> &SimConfig {
+        self.fab.cfg()
+    }
+
+    /// The routing policy (e.g. to inspect mechanism-specific state).
+    #[inline]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Number of compute nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.src_q.len()
+    }
+
+    /// Packets waiting in the source queue of `node`.
+    #[inline]
+    pub fn source_queue_len(&self, node: NodeId) -> usize {
+        self.src_q[node.idx()].len()
+    }
+
+    /// Packets generated but not yet delivered (anywhere: source queues,
+    /// buffers, links).
+    #[inline]
+    pub fn in_flight(&self) -> u64 {
+        self.stats.generated_packets - self.stats.delivered_packets
+    }
+
+    /// Whether every generated packet has been delivered.
+    #[inline]
+    pub fn drained(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Start recording one `(generation cycle, latency)` entry per
+    /// delivery (transient experiments, Fig. 6).
+    pub fn enable_delivery_log(&mut self) {
+        self.delivered_log = Some(Vec::new());
+    }
+
+    /// Drain the recorded delivery log.
+    pub fn take_delivery_log(&mut self) -> Vec<(u64, u32)> {
+        self.delivered_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Start counting phits per output port (link-utilization studies,
+    /// §III).
+    pub fn enable_link_utilization(&mut self) {
+        self.link_phits = Some(vec![0; self.routers.len() * self.fab.n_out()]);
+    }
+
+    /// Phits transmitted by output `port` of `router` since
+    /// [`Self::enable_link_utilization`].
+    pub fn link_utilization(&self, router: RouterId, port: usize) -> u64 {
+        self.link_phits
+            .as_ref()
+            .map(|v| v[router.idx() * self.fab.n_out() + port])
+            .unwrap_or(0)
+    }
+
+    // ----- traffic entry ------------------------------------------------
+
+    /// Generate a packet at `src` destined to `dst`, stamped with the
+    /// current cycle. The packet waits in the node's unbounded source
+    /// queue until the injection buffer accepts it.
+    pub fn generate(&mut self, src: NodeId, dst: NodeId) {
+        debug_assert_ne!(src, dst, "self-traffic is not meaningful");
+        let pkt = Packet {
+            id: self.next_id,
+            injected_at: self.now,
+            src,
+            dst,
+            intermediate: None,
+            flags: 0,
+            ring_exits_left: self.fab.cfg().max_ring_exits,
+            local_hops: 0,
+            global_hops: 0,
+            ring_hops: 0,
+            wait: 0,
+            cur_group: self.fab.topo().group_of_node(src),
+        };
+        self.next_id += 1;
+        self.stats.generated_packets += 1;
+        self.src_q[src.idx()].push_back(pkt);
+    }
+
+    /// Advance the simulation by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.deliver_events(now);
+        self.inject(now);
+        for r in 0..self.routers.len() {
+            self.route_and_allocate(r, now);
+        }
+        let snap = NetSnapshot::new(&self.fab, now, &self.routers);
+        self.policy.end_cycle(&snap);
+        self.now = now + 1;
+    }
+
+    /// Advance by `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    // ----- cycle phases --------------------------------------------------
+
+    /// Phase 1: land packets and credits whose link traversal completes.
+    /// Landing at a new group clears the per-group local-misroute flag
+    /// and retires a reached Valiant intermediate (§IV-A).
+    fn deliver_events(&mut self, now: u64) {
+        let size = self.fab.cfg().packet_size as u32;
+        let topo = *self.fab.topo();
+        for (ridx, router) in self.routers.iter_mut().enumerate() {
+            let g = topo.group_of(RouterId::from(ridx));
+            for input in router.inputs.iter_mut() {
+                while let Some(&(at, vc, _)) = input.arrivals.front() {
+                    if at > now {
+                        break;
+                    }
+                    let (_, _, mut pkt) = input.arrivals.pop_front().unwrap();
+                    if pkt.cur_group != g {
+                        pkt.cur_group = g;
+                        pkt.clear(FLAG_LOCAL_MISROUTED);
+                        if pkt.intermediate == Some(g) {
+                            pkt.intermediate = None;
+                        }
+                    }
+                    input.vcs[vc as usize].push(pkt, size);
+                }
+            }
+            for output in router.outputs.iter_mut() {
+                while let Some(&(at, vc, phits)) = output.credit_events.front() {
+                    if at > now {
+                        break;
+                    }
+                    output.credit_events.pop_front();
+                    let c = &mut output.credits[vc as usize];
+                    *c += phits;
+                    debug_assert!(*c <= output.capacity[vc as usize], "credit overflow");
+                }
+            }
+        }
+    }
+
+    /// Phase 2: move source-queue heads into injection buffers
+    /// (1 phit/cycle per node).
+    fn inject(&mut self, now: u64) {
+        let size = self.fab.cfg().packet_size as u32;
+        let p = self.fab.cfg().params.p;
+        for node in 0..self.src_q.len() {
+            if self.inj_busy[node] > now || self.src_q[node].is_empty() {
+                continue;
+            }
+            let router = RouterId::from(node / p);
+            let port = self.fab.inj_in(node % p);
+            let store = &mut self.routers[router.idx()];
+            let view = RouterView::new(&self.fab, router, now, &store.outputs);
+            let pkt = self.src_q[node].front_mut().unwrap();
+            let vc = self.policy.on_inject(&view, pkt);
+            debug_assert!(vc < store.inputs[port].vcs.len());
+            if store.inputs[port].vcs[vc].fits(size) {
+                let pkt = self.src_q[node].pop_front().unwrap();
+                store.inputs[port].vcs[vc].push(pkt, size);
+                self.inj_busy[node] = now + u64::from(size);
+                self.stats.injected_packets += 1;
+            }
+        }
+    }
+
+    /// Phase 3: routing + separable iterative allocation + grant
+    /// execution for one router.
+    fn route_and_allocate(&mut self, ridx: usize, now: u64) {
+        let size = self.fab.cfg().packet_size as u32;
+        let router = RouterId::from(ridx);
+
+        // --- collect one request per head-of-VC packet ---
+        self.reqs.clear();
+        {
+            let store = &mut self.routers[ridx];
+            let (inputs, outputs) = (&mut store.inputs, &store.outputs);
+            let view = RouterView::new(&self.fab, router, now, outputs);
+            for (port, input) in inputs.iter_mut().enumerate() {
+                if input.busy_until > now {
+                    continue; // crossbar input still streaming a packet
+                }
+                let desc = self.fab.in_desc(router, port);
+                let base_vcs = match desc.kind {
+                    PortKind::Node => self.fab.cfg().vcs_injection,
+                    PortKind::Local => self.fab.cfg().vcs_local,
+                    PortKind::Global => self.fab.cfg().vcs_global,
+                    PortKind::Ring => self.fab.cfg().vcs_ring,
+                };
+                for (vc, fifo) in input.vcs.iter_mut().enumerate() {
+                    let Some(pkt) = fifo.head_mut() else { continue };
+                    let ctx = InputCtx {
+                        port,
+                        vc,
+                        kind: desc.kind,
+                        is_escape_vc: desc.kind == PortKind::Ring || vc >= base_vcs,
+                    };
+                    if let Some(req) = self.policy.route(&view, ctx, pkt) {
+                        self.reqs.push((port as u16, vc as u8, req));
+                    }
+                }
+            }
+        }
+        if self.reqs.is_empty() {
+            return;
+        }
+
+        // --- iterative separable allocation (input stage then output
+        //     stage, LRS arbiters, `alloc_iters` iterations) ---
+        self.matched_in.iter_mut().for_each(|m| *m = false);
+        self.matched_out.iter_mut().for_each(|m| *m = false);
+        self.grants.clear();
+        let iters = self.fab.cfg().alloc_iters;
+        for _ in 0..iters {
+            self.best_out.iter_mut().for_each(|b| *b = None);
+            let store = &self.routers[ridx];
+            let mut any = false;
+            let mut i = 0;
+            while i < self.reqs.len() {
+                let in_port = self.reqs[i].0;
+                let mut j = i;
+                while j < self.reqs.len() && self.reqs[j].0 == in_port {
+                    j += 1;
+                }
+                if !self.matched_in[in_port as usize] {
+                    // Input stage: least-recently-served VC among the
+                    // eligible candidates of this input port.
+                    let mut pick: Option<(u64, usize)> = None;
+                    for (idx, &(_, vc, req)) in
+                        self.reqs[i..j].iter().enumerate().map(|(k, r)| (i + k, r))
+                    {
+                        let out = req.out_port as usize;
+                        if self.matched_out[out]
+                            || !Self::eligible(store, req, now, size)
+                        {
+                            continue;
+                        }
+                        let stamp = store.inputs[in_port as usize].vc_served_at[vc as usize];
+                        if pick.is_none_or(|(s, _)| stamp < s) {
+                            pick = Some((stamp, idx));
+                        }
+                    }
+                    if let Some((_, idx)) = pick {
+                        // Output stage: LRS over proposing inputs.
+                        let req = self.reqs[idx].2;
+                        let out = req.out_port as usize;
+                        let stamp = store.outputs[out].in_served_at[in_port as usize];
+                        if self.best_out[out].is_none_or(|(s, _, _)| stamp < s) {
+                            self.best_out[out] = Some((stamp, in_port, idx as u32));
+                        }
+                    }
+                }
+                i = j;
+            }
+            for out in 0..self.best_out.len() {
+                if let Some((_, in_port, idx)) = self.best_out[out] {
+                    let (port, vc, req) = self.reqs[idx as usize];
+                    self.matched_in[in_port as usize] = true;
+                    self.matched_out[out] = true;
+                    self.grants.push((port, vc, req));
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        // --- execute grants ---
+        for gi in 0..self.grants.len() {
+            let (in_port, vc, req) = self.grants[gi];
+            self.execute_grant(ridx, in_port as usize, vc as usize, req, now);
+        }
+        // Apply deferred cross-router effects (arrivals, credits).
+        for e in self.effects.drain(..) {
+            match e {
+                Effect::Arrival {
+                    router,
+                    port,
+                    vc,
+                    at,
+                    pkt,
+                } => {
+                    let q = &mut self.routers[router as usize].inputs[port as usize].arrivals;
+                    debug_assert!(q.back().is_none_or(|&(t, _, _)| t <= at));
+                    q.push_back((at, vc, pkt));
+                }
+                Effect::Credit {
+                    router,
+                    port,
+                    vc,
+                    phits,
+                    at,
+                } => {
+                    let q = &mut self.routers[router as usize].outputs[port as usize].credit_events;
+                    debug_assert!(q.back().is_none_or(|&(t, _, _)| t <= at));
+                    q.push_back((at, vc, phits));
+                }
+            }
+        }
+    }
+
+    /// Grant eligibility: output idle, and downstream space for the
+    /// packet (twice the packet for ring entry — the bubble of §IV-C).
+    fn eligible(store: &RouterStore, req: Request, now: u64, size: u32) -> bool {
+        let out = &store.outputs[req.out_port as usize];
+        if out.busy_until > now {
+            return false;
+        }
+        if out.credits.is_empty() {
+            return true; // ejection: infinite sink
+        }
+        let need = match req.kind {
+            RequestKind::RingEnter => 2 * size,
+            _ => size,
+        };
+        out.credits[req.out_vc as usize] >= need
+    }
+
+    fn execute_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {
+        let size = self.fab.cfg().packet_size as u32;
+        let router = RouterId::from(ridx);
+        let store = &mut self.routers[ridx];
+        let mut pkt = store.inputs[in_port].vcs[vc].pop(size);
+        pkt.wait = 0; // the head-blocked counter restarts at the next hop
+        store.inputs[in_port].busy_until = now + u64::from(size);
+        store.inputs[in_port].vc_served_at[vc] = now + 1; // LRS stamp (0 = never)
+        let out = &mut store.outputs[req.out_port as usize];
+        out.in_served_at[in_port] = now + 1;
+        out.busy_until = now + u64::from(size);
+        self.stats.last_grant = now;
+        if let Some(util) = self.link_phits.as_mut() {
+            util[ridx * self.fab.n_out() + req.out_port as usize] += u64::from(size);
+        }
+
+        // Credit return to the upstream router feeding this input.
+        let desc = *self.fab.in_desc(router, in_port);
+        if desc.up_router != u32::MAX {
+            self.effects.push(Effect::Credit {
+                router: desc.up_router,
+                port: desc.up_port,
+                vc: vc as u8,
+                phits: size,
+                at: now + u64::from(desc.latency),
+            });
+        }
+
+        // Header-flag and ring bookkeeping (§IV-A, §IV-C).
+        let was_on_ring = pkt.on_ring();
+        match req.kind {
+            RequestKind::Minimal | RequestKind::Eject => {}
+            RequestKind::MisrouteLocal => {
+                pkt.set(FLAG_LOCAL_MISROUTED);
+                self.stats.local_misroutes += 1;
+            }
+            RequestKind::MisrouteGlobal => {
+                pkt.set(FLAG_GLOBAL_MISROUTED);
+                self.stats.global_misroutes += 1;
+            }
+            RequestKind::RingEnter => {
+                debug_assert!(!was_on_ring);
+                pkt.set(FLAG_ON_RING);
+                self.stats.ring_entries += 1;
+            }
+            RequestKind::RingAdvance => {
+                debug_assert!(was_on_ring);
+                self.stats.ring_advances += 1;
+            }
+            RequestKind::RingExit => {
+                debug_assert!(was_on_ring && pkt.ring_exits_left > 0);
+                pkt.clear(FLAG_ON_RING);
+                pkt.ring_exits_left -= 1;
+                self.stats.ring_exits += 1;
+            }
+        }
+
+        let link = *self.fab.out_link(router, req.out_port as usize);
+        match req.kind {
+            RequestKind::Eject => {
+                debug_assert_eq!(link.kind, PortKind::Node);
+                debug_assert_eq!(
+                    self.fab.topo().router_of_node(pkt.dst),
+                    router,
+                    "ejecting at the wrong router"
+                );
+                // §IV-A path-length ceiling: without escape-ring travel,
+                // no mechanism exceeds 6 local + 2 global hops. (Each
+                // ring exit restarts a minimal segment, so ring users
+                // are exempt.)
+                debug_assert!(
+                    pkt.ring_hops > 0 || (pkt.local_hops <= 6 && pkt.global_hops <= 2),
+                    "canonical path too long: {} local / {} global hops (pkt {})",
+                    pkt.local_hops,
+                    pkt.global_hops,
+                    pkt.id
+                );
+                let latency = now + u64::from(size) - pkt.injected_at;
+                self.stats.delivered_packets += 1;
+                self.stats.delivered_phits += u64::from(size);
+                self.stats.latency_sum += latency;
+                self.stats.hop_sum +=
+                    u64::from(pkt.local_hops) + u64::from(pkt.global_hops) + u64::from(pkt.ring_hops);
+                self.stats.last_delivery = now;
+                if was_on_ring {
+                    self.stats.ring_deliveries += 1;
+                }
+                if let Some(log) = self.delivered_log.as_mut() {
+                    log.push((pkt.injected_at, latency as u32));
+                }
+            }
+            RequestKind::RingEnter | RequestKind::RingAdvance => {
+                // Ring hops do not advance the canonical hop ladder.
+                pkt.ring_hops = pkt.ring_hops.saturating_add(1);
+                let out = &mut store.outputs[req.out_port as usize];
+                out.credits[req.out_vc as usize] -= size;
+                self.effects.push(Effect::Arrival {
+                    router: link.dst_router,
+                    port: link.dst_port,
+                    vc: req.out_vc,
+                    at: now + u64::from(link.latency),
+                    pkt,
+                });
+            }
+            _ => {
+                match link.kind {
+                    PortKind::Local => pkt.local_hops += 1,
+                    PortKind::Global => pkt.global_hops += 1,
+                    PortKind::Node | PortKind::Ring => unreachable!("non-eject canonical grant"),
+                }
+                let out = &mut store.outputs[req.out_port as usize];
+                out.credits[req.out_vc as usize] -= size;
+                self.effects.push(Effect::Arrival {
+                    router: link.dst_router,
+                    port: link.dst_port,
+                    vc: req.out_vc,
+                    at: now + u64::from(link.latency),
+                    pkt,
+                });
+            }
+        }
+    }
+
+    // ----- invariants (used by the test suites) --------------------------
+
+    /// Total phits currently inside the system (source queues, buffers
+    /// and links). Delivered + inside must equal generated at all times
+    /// (phit conservation).
+    pub fn phits_in_system(&self) -> u64 {
+        let size = self.fab.cfg().packet_size as u64;
+        let src: u64 = self.src_q.iter().map(|q| q.len() as u64 * size).sum();
+        let buffered: u64 = self.routers.iter().map(RouterStore::buffered_phits).sum();
+        let inflight: u64 = self
+            .routers
+            .iter()
+            .map(|r| r.inflight_phits(size as usize))
+            .sum();
+        src + buffered + inflight
+    }
+
+    /// Assert credit consistency: for every link, sender credits plus
+    /// receiver occupancy plus in-flight packets and in-flight credits
+    /// must equal the buffer capacity. Called from tests; O(network).
+    pub fn check_credit_conservation(&self) {
+        let size = self.fab.cfg().packet_size as u32;
+        for ridx in 0..self.routers.len() {
+            let router = RouterId::from(ridx);
+            for port in 0..self.fab.n_out() {
+                let link = self.fab.out_link(router, port);
+                if link.kind == PortKind::Node {
+                    continue;
+                }
+                let out = &self.routers[ridx].outputs[port];
+                let din = &self.routers[link.dst_router as usize].inputs[link.dst_port as usize];
+                for vc in 0..out.credits.len() {
+                    let inflight_pkts = din
+                        .arrivals
+                        .iter()
+                        .filter(|&&(_, v, _)| v as usize == vc)
+                        .count() as u32;
+                    let inflight_credits: u32 = out
+                        .credit_events
+                        .iter()
+                        .filter(|&&(_, v, _)| v as usize == vc)
+                        .map(|&(_, _, p)| p)
+                        .sum();
+                    let occ = din.vcs[vc].occupancy();
+                    assert_eq!(
+                        out.credits[vc] + occ + inflight_pkts * size + inflight_credits,
+                        out.capacity[vc],
+                        "credit leak on {router} out {port} vc {vc}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The routing-policy interface.
+//!
+//! The engine is routing-agnostic: every cycle it asks a [`Policy`] for a
+//! single request per head-of-queue packet and arbitrates the requests.
+//! Policies only see the *current router* (credits, busy state) plus
+//! whatever internal state they maintain — matching OFAR's premise of
+//! misrouting "without relying on remote sensing of the network status"
+//! (§IV). Mechanisms that do use remote state (PB's broadcast) rebuild it
+//! in [`Policy::end_cycle`] from a network snapshot, which models the
+//! in-band broadcast explicitly.
+
+use crate::fabric::{EscapeOut, Fabric, PortKind};
+use crate::packet::{Packet, Request};
+use crate::router::{OutputPort, RouterStore};
+use ofar_topology::{GroupId, RouterId};
+
+/// Read-only view of one router used while routing a packet.
+pub struct RouterView<'a> {
+    /// Static wiring.
+    pub fab: &'a Fabric,
+    /// The router being routed at.
+    pub router: RouterId,
+    /// Current cycle.
+    pub now: u64,
+    pub(crate) outputs: &'a [OutputPort],
+}
+
+impl<'a> RouterView<'a> {
+    pub(crate) fn new(
+        fab: &'a Fabric,
+        router: RouterId,
+        now: u64,
+        outputs: &'a [OutputPort],
+    ) -> Self {
+        Self {
+            fab,
+            router,
+            now,
+            outputs,
+        }
+    }
+
+    /// Packet size in phits.
+    #[inline]
+    pub fn packet_phits(&self) -> u32 {
+        self.fab.cfg().packet_size as u32
+    }
+
+    /// Group of the current router.
+    #[inline]
+    pub fn group(&self) -> GroupId {
+        self.fab.topo().group_of(self.router)
+    }
+
+    /// Whether the output port is currently transmitting.
+    #[inline]
+    pub fn out_busy(&self, port: usize) -> bool {
+        self.outputs[port].busy_until > self.now
+    }
+
+    /// Cycles since the output port last transmitted (0 while busy).
+    /// A *saturated* output keeps granting — its idle time stays below a
+    /// couple of packet times; a *stalled* (deadlocked) output freezes.
+    /// OFAR uses this to reserve the escape ring for genuine stalls
+    /// (§IV-C: the ring is a last resort, "rarely used").
+    #[inline]
+    pub fn out_idle_cycles(&self, port: usize) -> u64 {
+        self.now.saturating_sub(self.outputs[port].busy_until)
+    }
+
+    /// Available downstream credits of (`port`, `vc`) in phits.
+    #[inline]
+    pub fn credits(&self, port: usize, vc: usize) -> u32 {
+        self.outputs[port].credits[vc]
+    }
+
+    /// Credit-estimated downstream occupancy of (`port`, `vc`) in
+    /// `[0, 1]` — the `Q` of the misroute thresholds (§IV-B).
+    #[inline]
+    pub fn occupancy(&self, port: usize, vc: usize) -> f64 {
+        self.outputs[port].occupancy_frac(vc)
+    }
+
+    /// Whether a whole packet can be granted to (`port`, `vc`) right now:
+    /// the output is idle and the downstream VC has space for the packet.
+    /// Ejection ports only need an idle output (nodes are infinite
+    /// sinks).
+    #[inline]
+    pub fn available(&self, port: usize, vc: usize) -> bool {
+        if self.out_busy(port) {
+            return false;
+        }
+        let out = &self.outputs[port];
+        out.credits.is_empty() || out.credits[vc] >= self.packet_phits()
+    }
+
+    /// Like [`Self::available`] but requiring space for two packets — the
+    /// bubble condition for entering the escape ring (§IV-C).
+    #[inline]
+    pub fn available_with_bubble(&self, port: usize, vc: usize) -> bool {
+        !self.out_busy(port) && self.outputs[port].credits[vc] >= 2 * self.packet_phits()
+    }
+
+    /// The primary escape output of this router, if an escape ring is
+    /// configured.
+    #[inline]
+    pub fn escape(&self) -> Option<EscapeOut> {
+        self.fab.escape(self.router)
+    }
+
+    /// All escape outputs of this router (one per configured ring, §VII
+    /// multi-ring extension).
+    #[inline]
+    pub fn escapes(&self) -> &[EscapeOut] {
+        self.fab.escapes(self.router)
+    }
+
+    /// The escape (port, vc) with the most downstream credits across all
+    /// configured rings, if any.
+    pub fn best_escape_vc(&self) -> Option<(usize, usize)> {
+        self.escapes()
+            .iter()
+            .flat_map(|esc| {
+                let port = esc.out_port as usize;
+                (esc.base_vc..esc.base_vc + esc.num_vcs).map(move |vc| (port, vc as usize))
+            })
+            .max_by_key(|&(port, vc)| self.credits(port, vc))
+    }
+
+    /// The escape (port, vc) of one specific ring, with the most
+    /// downstream credits among that ring's VCs.
+    pub fn escape_vc_of_ring(&self, ring: usize) -> Option<(usize, usize)> {
+        let esc = self.escapes().get(ring)?;
+        let port = esc.out_port as usize;
+        (esc.base_vc..esc.base_vc + esc.num_vcs)
+            .map(|vc| vc as usize)
+            .max_by_key(|&vc| self.credits(port, vc))
+            .map(|vc| (port, vc))
+    }
+}
+
+/// Where the packet being routed currently waits.
+#[derive(Clone, Copy, Debug)]
+pub struct InputCtx {
+    /// Input-port index.
+    pub port: usize,
+    /// VC index within the port.
+    pub vc: usize,
+    /// Port class (injection / local / global / ring).
+    pub kind: PortKind,
+    /// Whether the packet waits in an escape VC (embedded ring) or a
+    /// physical ring buffer.
+    pub is_escape_vc: bool,
+}
+
+/// Read-only view of the whole network, for per-cycle policy hooks.
+pub struct NetSnapshot<'a> {
+    /// Static wiring.
+    pub fab: &'a Fabric,
+    /// Current cycle.
+    pub now: u64,
+    pub(crate) routers: &'a [RouterStore],
+}
+
+impl<'a> NetSnapshot<'a> {
+    pub(crate) fn new(fab: &'a Fabric, now: u64, routers: &'a [RouterStore]) -> Self {
+        Self { fab, now, routers }
+    }
+
+    /// Credit-estimated occupancy (in `[0, 1]`, aggregated over VCs) of
+    /// global output `k` of `router`. This is the quantity each router
+    /// would broadcast to its group under Piggybacking.
+    pub fn global_out_occupancy(&self, router: RouterId, k: usize) -> f64 {
+        let port = self.fab.global_out(k);
+        let out = &self.routers[router.idx()].outputs[port];
+        let cap: u32 = out.capacity.iter().sum();
+        if cap == 0 {
+            return 0.0;
+        }
+        let credits: u32 = out.credits.iter().sum();
+        f64::from(cap - credits) / f64::from(cap)
+    }
+}
+
+/// A routing mechanism.
+///
+/// The engine calls [`Policy::route`] for the packet at the head of every
+/// input VC, every cycle, as long as the packet has not been granted —
+/// this is exactly the "routing decision … revisited every cycle" model
+/// of §V, and what enables OFAR's on-the-fly adaptivity.
+pub trait Policy {
+    /// Human-readable mechanism name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Decide the request for the head packet of (`input.port`,
+    /// `input.vc`). Returning `None` keeps the packet waiting this cycle.
+    ///
+    /// `pkt` is mutable for idempotent bookkeeping only (e.g. clearing a
+    /// reached Valiant intermediate); irreversible state changes (header
+    /// misroute flags, ring state) are applied by the engine when the
+    /// request is *granted*, based on [`crate::packet::RequestKind`].
+    fn route(&mut self, view: &RouterView<'_>, input: InputCtx, pkt: &mut Packet)
+        -> Option<Request>;
+
+    /// Called when a packet moves from its source queue into an injection
+    /// buffer; decides the injection VC and performs injection-time route
+    /// setup (e.g. Valiant intermediate-group selection).
+    fn on_inject(&mut self, view: &RouterView<'_>, pkt: &mut Packet) -> usize;
+
+    /// Per-cycle hook with a whole-network snapshot (e.g. the PB
+    /// congestion broadcast). Default: no-op.
+    fn end_cycle(&mut self, _net: &NetSnapshot<'_>) {}
+
+    /// Whether the mechanism requires an escape ring to be deadlock-free.
+    fn needs_ring(&self) -> bool {
+        false
+    }
+}

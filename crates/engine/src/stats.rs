@@ -1,0 +1,179 @@
+//! Simulation statistics and measurement windows.
+
+/// Monotonic counters maintained by the engine. All figures of the paper
+/// derive from deltas of these counters over a measurement window (see
+/// [`StatsWindow`]).
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Packets generated (pushed into source queues).
+    pub generated_packets: u64,
+    /// Packets that entered an injection buffer.
+    pub injected_packets: u64,
+    /// Packets delivered to their destination node.
+    pub delivered_packets: u64,
+    /// Phits delivered.
+    pub delivered_phits: u64,
+    /// Sum of packet latencies (generation → ejection grant + packet
+    /// serialization), in cycles.
+    pub latency_sum: u64,
+    /// Sum of link hops of delivered packets (local + global + ring).
+    pub hop_sum: u64,
+    /// Non-minimal local hops taken (§IV-A).
+    pub local_misroutes: u64,
+    /// Non-minimal global hops taken (§IV-A).
+    pub global_misroutes: u64,
+    /// Packets that entered the escape ring (§IV-C).
+    pub ring_entries: u64,
+    /// Hops taken along the escape ring.
+    pub ring_advances: u64,
+    /// Packets that abandoned the ring through a canonical output.
+    pub ring_exits: u64,
+    /// Packets delivered directly from the escape ring.
+    pub ring_deliveries: u64,
+    /// Cycle of the last delivered packet.
+    pub last_delivery: u64,
+    /// Cycle of the last crossbar grant anywhere in the network
+    /// (progress watchdog for deadlock detection).
+    pub last_grant: u64,
+}
+
+impl Stats {
+    /// Mean packet latency over all deliveries so far.
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Mean hop count over all deliveries so far.
+    pub fn avg_hops(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.delivered_packets as f64
+        }
+    }
+}
+
+/// A measurement window: the delta of two [`Stats`] snapshots plus the
+/// elapsed cycles, exposing the paper's metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct StatsWindow {
+    /// Cycles covered by the window.
+    pub cycles: u64,
+    /// Nodes in the network (for per-node normalization).
+    pub nodes: usize,
+    /// Packets delivered in the window.
+    pub delivered_packets: u64,
+    /// Phits delivered in the window.
+    pub delivered_phits: u64,
+    /// Packets generated in the window.
+    pub generated_packets: u64,
+    /// Latency sum of deliveries in the window.
+    pub latency_sum: u64,
+    /// Hop sum of deliveries in the window.
+    pub hop_sum: u64,
+    /// Local misroutes in the window.
+    pub local_misroutes: u64,
+    /// Global misroutes in the window.
+    pub global_misroutes: u64,
+    /// Ring entries in the window.
+    pub ring_entries: u64,
+}
+
+impl StatsWindow {
+    /// Delta between two snapshots taken `cycles` apart.
+    pub fn between(start: &Stats, end: &Stats, cycles: u64, nodes: usize) -> Self {
+        Self {
+            cycles,
+            nodes,
+            delivered_packets: end.delivered_packets - start.delivered_packets,
+            delivered_phits: end.delivered_phits - start.delivered_phits,
+            generated_packets: end.generated_packets - start.generated_packets,
+            latency_sum: end.latency_sum - start.latency_sum,
+            hop_sum: end.hop_sum - start.hop_sum,
+            local_misroutes: end.local_misroutes - start.local_misroutes,
+            global_misroutes: end.global_misroutes - start.global_misroutes,
+            ring_entries: end.ring_entries - start.ring_entries,
+        }
+    }
+
+    /// Accepted throughput in phits/(node·cycle) — the paper's y-axis in
+    /// Figs. 2b, 3b, 4b, 5b, 8b and 9.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 || self.nodes == 0 {
+            return 0.0;
+        }
+        self.delivered_phits as f64 / (self.cycles as f64 * self.nodes as f64)
+    }
+
+    /// Average latency (cycles) of packets delivered in the window — the
+    /// paper's y-axis in Figs. 3a, 4a, 5a and 8a.
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Average hops per delivered packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Fraction of delivered packets that were misrouted at least once
+    /// (upper bound: counts misroute hops over packets).
+    pub fn misroute_rate(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            (self.local_misroutes + self.global_misroutes) as f64 / self.delivered_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_delta_and_metrics() {
+        let start = Stats {
+            delivered_packets: 10,
+            delivered_phits: 80,
+            latency_sum: 1000,
+            ..Default::default()
+        };
+        let end = Stats {
+            delivered_packets: 110,
+            delivered_phits: 880,
+            latency_sum: 21000,
+            hop_sum: 300,
+            ..Default::default()
+        };
+        let w = StatsWindow::between(&start, &end, 100, 4);
+        assert_eq!(w.delivered_packets, 100);
+        assert_eq!(w.delivered_phits, 800);
+        // 800 phits / (100 cycles * 4 nodes) = 2.0
+        assert!((w.throughput() - 2.0).abs() < 1e-12);
+        assert!((w.avg_latency() - 200.0).abs() < 1e-12);
+        assert!((w.avg_hops() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let s = Stats::default();
+        let w = StatsWindow::between(&s, &s, 0, 0);
+        assert_eq!(w.throughput(), 0.0);
+        assert_eq!(w.avg_latency(), 0.0);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the engine integration tests: a trivially
+//! deadlock-free minimal policy so tests exercise the *engine* alone.
+
+use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView};
+use ofar_topology::MinimalHop;
+
+/// Pure minimal routing with position-indexed VCs (source 0 →
+/// destination last). Deadlock-free by the ascending ladder.
+pub struct TestMin;
+
+impl Policy for TestMin {
+    fn name(&self) -> &'static str {
+        "test-min"
+    }
+
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        _input: InputCtx,
+        pkt: &mut Packet,
+    ) -> Option<Request> {
+        let topo = view.fab.topo();
+        let cfg = view.fab.cfg();
+        Some(match topo.minimal_hop_to_node(view.router, pkt.dst) {
+            MinimalHop::Eject { node } => {
+                Request::new(view.fab.eject_out(node), 0, RequestKind::Eject)
+            }
+            MinimalHop::Local { port } => {
+                let dst_group = topo.group_of_node(pkt.dst);
+                let vc = if view.group() == dst_group {
+                    cfg.vcs_local - 1
+                } else {
+                    0
+                };
+                Request::new(view.fab.local_out(port), vc, RequestKind::Minimal)
+            }
+            MinimalHop::Global { port } => {
+                Request::new(view.fab.global_out(port), 0, RequestKind::Minimal)
+            }
+        })
+    }
+
+    fn on_inject(&mut self, _view: &RouterView<'_>, pkt: &mut Packet) -> usize {
+        (pkt.id % 3) as usize
+    }
+}

@@ -1,0 +1,30 @@
+//! # ofar-routing
+//!
+//! The routing mechanisms of the OFAR paper (García et al., ICPP 2012)
+//! as [`ofar_engine::Policy`] implementations:
+//!
+//! * [`MinPolicy`] — deterministic minimal routing (MIN);
+//! * [`ValiantPolicy`] — Valiant randomized routing (VAL);
+//! * [`PbPolicy`] — Piggybacking indirect adaptive routing (PB);
+//! * [`ParPolicy`] — Progressive Adaptive Routing (PAR, extension);
+//! * [`OfarPolicy`] — **On-the-Fly Adaptive Routing** (OFAR), with the
+//!   `OFAR-L` dissection variant (no local misrouting).
+//!
+//! [`MechanismKind`] / [`Mechanism`] wrap the family behind one enum for
+//! sweep harnesses.
+
+pub mod common;
+pub mod mechanism;
+pub mod minimal;
+pub mod ofar;
+pub mod par;
+pub mod pb;
+pub mod valiant;
+
+pub use common::VcLadder;
+pub use mechanism::{Mechanism, MechanismKind};
+pub use minimal::MinPolicy;
+pub use ofar::{MisrouteThreshold, OfarConfig, OfarPolicy};
+pub use par::{par_config, ParConfig, ParPolicy};
+pub use pb::{PbConfig, PbPolicy};
+pub use valiant::ValiantPolicy;

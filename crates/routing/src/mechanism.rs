@@ -1,0 +1,223 @@
+//! The mechanism family as one dispatchable type, mirroring the paper's
+//! §V list (MIN, VAL, PB, OFAR, OFAR-L) plus the PAR extension.
+
+use crate::minimal::MinPolicy;
+use crate::ofar::{OfarConfig, OfarPolicy};
+use crate::par::ParPolicy;
+use crate::pb::{PbConfig, PbPolicy};
+use crate::valiant::ValiantPolicy;
+use ofar_engine::{InputCtx, NetSnapshot, Packet, Policy, Request, RingMode, RouterView, SimConfig};
+
+/// Which routing mechanism to simulate. `Copy`, hashable and printable —
+/// convenient as a sweep axis in the experiment harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// Deterministic minimal routing.
+    Min,
+    /// Valiant randomized routing.
+    Valiant,
+    /// Piggybacking (Jiang et al.).
+    Pb,
+    /// Progressive Adaptive Routing (extension baseline; needs
+    /// `vcs_local = 4`).
+    Par,
+    /// On-the-Fly Adaptive Routing (the paper's contribution).
+    Ofar,
+    /// OFAR without local misrouting (dissection model).
+    OfarL,
+}
+
+impl MechanismKind {
+    /// Paper name of the mechanism.
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::Min => "MIN",
+            MechanismKind::Valiant => "VAL",
+            MechanismKind::Pb => "PB",
+            MechanismKind::Par => "PAR",
+            MechanismKind::Ofar => "OFAR",
+            MechanismKind::OfarL => "OFAR-L",
+        }
+    }
+
+    /// Whether the mechanism needs an escape ring to avoid deadlock.
+    pub fn needs_ring(self) -> bool {
+        matches!(self, MechanismKind::Ofar | MechanismKind::OfarL)
+    }
+
+    /// The five mechanisms evaluated in the paper.
+    pub fn paper_set() -> [MechanismKind; 5] {
+        [
+            MechanismKind::Min,
+            MechanismKind::Valiant,
+            MechanismKind::Pb,
+            MechanismKind::Ofar,
+            MechanismKind::OfarL,
+        ]
+    }
+
+    /// Adjust a base configuration to the mechanism's requirements:
+    /// OFAR models get an escape ring (embedded unless one is already
+    /// chosen), PAR gets its fourth local VC, and VC-ordered mechanisms
+    /// drop the ring they do not use.
+    pub fn adapt_config(self, mut cfg: SimConfig) -> SimConfig {
+        match self {
+            MechanismKind::Ofar | MechanismKind::OfarL => {
+                if cfg.ring == RingMode::None {
+                    cfg.ring = RingMode::Embedded;
+                }
+            }
+            MechanismKind::Par => {
+                cfg.vcs_local = cfg.vcs_local.max(4);
+                cfg.ring = RingMode::None;
+            }
+            _ => cfg.ring = RingMode::None,
+        }
+        cfg
+    }
+
+    /// Instantiate the policy for an (already adapted) configuration.
+    pub fn build(self, cfg: &SimConfig, seed: u64) -> Mechanism {
+        match self {
+            MechanismKind::Min => Mechanism::Min(MinPolicy::new(cfg)),
+            MechanismKind::Valiant => Mechanism::Valiant(ValiantPolicy::new(cfg, seed)),
+            MechanismKind::Pb => Mechanism::Pb(PbPolicy::new(cfg, seed)),
+            MechanismKind::Par => Mechanism::Par(ParPolicy::new(cfg, seed)),
+            MechanismKind::Ofar => Mechanism::Ofar(OfarPolicy::new(cfg, seed)),
+            MechanismKind::OfarL => Mechanism::Ofar(OfarPolicy::without_local(cfg, seed)),
+        }
+    }
+
+    /// Instantiate with explicit mechanism tunables where they exist.
+    pub fn build_tuned(
+        self,
+        cfg: &SimConfig,
+        seed: u64,
+        ofar: Option<OfarConfig>,
+        pb: Option<PbConfig>,
+    ) -> Mechanism {
+        match (self, ofar, pb) {
+            (MechanismKind::Ofar | MechanismKind::OfarL, Some(mut o), _) => {
+                if self == MechanismKind::OfarL {
+                    o.local_misroute = false;
+                }
+                Mechanism::Ofar(OfarPolicy::with_config(cfg, seed, o))
+            }
+            (MechanismKind::Pb, _, Some(p)) => Mechanism::Pb(PbPolicy::with_config(cfg, seed, p)),
+            _ => self.build(cfg, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete routing mechanism (enum dispatch keeps the engine
+/// monomorphic over one type while avoiding trait objects in the hot
+/// per-cycle path).
+#[derive(Clone, Debug)]
+pub enum Mechanism {
+    /// Minimal routing.
+    Min(MinPolicy),
+    /// Valiant routing.
+    Valiant(ValiantPolicy),
+    /// Piggybacking.
+    Pb(PbPolicy),
+    /// Progressive Adaptive Routing.
+    Par(ParPolicy),
+    /// OFAR or OFAR-L.
+    Ofar(OfarPolicy),
+}
+
+impl Policy for Mechanism {
+    fn name(&self) -> &'static str {
+        match self {
+            Mechanism::Min(p) => p.name(),
+            Mechanism::Valiant(p) => p.name(),
+            Mechanism::Pb(p) => p.name(),
+            Mechanism::Par(p) => p.name(),
+            Mechanism::Ofar(p) => p.name(),
+        }
+    }
+
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        input: InputCtx,
+        pkt: &mut Packet,
+    ) -> Option<Request> {
+        match self {
+            Mechanism::Min(p) => p.route(view, input, pkt),
+            Mechanism::Valiant(p) => p.route(view, input, pkt),
+            Mechanism::Pb(p) => p.route(view, input, pkt),
+            Mechanism::Par(p) => p.route(view, input, pkt),
+            Mechanism::Ofar(p) => p.route(view, input, pkt),
+        }
+    }
+
+    fn on_inject(&mut self, view: &RouterView<'_>, pkt: &mut Packet) -> usize {
+        match self {
+            Mechanism::Min(p) => p.on_inject(view, pkt),
+            Mechanism::Valiant(p) => p.on_inject(view, pkt),
+            Mechanism::Pb(p) => p.on_inject(view, pkt),
+            Mechanism::Par(p) => p.on_inject(view, pkt),
+            Mechanism::Ofar(p) => p.on_inject(view, pkt),
+        }
+    }
+
+    fn end_cycle(&mut self, net: &NetSnapshot<'_>) {
+        if let Mechanism::Pb(p) = self { p.end_cycle(net) }
+    }
+
+    fn needs_ring(&self) -> bool {
+        matches!(self, Mechanism::Ofar(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_their_named_policies() {
+        for kind in [
+            MechanismKind::Min,
+            MechanismKind::Valiant,
+            MechanismKind::Pb,
+            MechanismKind::Par,
+            MechanismKind::Ofar,
+            MechanismKind::OfarL,
+        ] {
+            let cfg = kind.adapt_config(SimConfig::paper(2));
+            let m = kind.build(&cfg, 42);
+            assert_eq!(m.name(), kind.name());
+            assert_eq!(m.needs_ring(), kind.needs_ring());
+        }
+    }
+
+    #[test]
+    fn adapt_config_sets_ring_and_vcs() {
+        let base = SimConfig::paper(2);
+        assert_eq!(
+            MechanismKind::Ofar.adapt_config(base).ring,
+            RingMode::Embedded
+        );
+        assert_eq!(MechanismKind::Min.adapt_config(base).ring, RingMode::None);
+        assert_eq!(MechanismKind::Par.adapt_config(base).vcs_local, 4);
+        // explicit physical ring survives adaptation
+        let phys = base.with_ring(RingMode::Physical);
+        assert_eq!(
+            MechanismKind::OfarL.adapt_config(phys).ring,
+            RingMode::Physical
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(MechanismKind::OfarL.to_string(), "OFAR-L");
+        assert_eq!(MechanismKind::Valiant.to_string(), "VAL");
+    }
+}

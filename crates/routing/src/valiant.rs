@@ -1,0 +1,138 @@
+//! VAL: Valiant randomized routing (§II, §V; Valiant 1982).
+//!
+//! At injection, each inter-group packet picks a uniformly random
+//! intermediate group (different from both source and destination
+//! groups), travels minimally to it, then minimally to the destination —
+//! the `l₁ g₁ l₂ g₂ l₃` path of §I. Intra-group traffic is routed
+//! minimally: sending it through a remote group would burn two global
+//! hops for no balancing benefit.
+//!
+//! VAL balances global links perfectly (throughput ½ under any
+//! admissible pattern of *inter-group* demands) but §III shows its blind
+//! spot: for ADV+h patterns the `l₂` hop concentrates on single local
+//! links, capping throughput at `1/h`.
+
+use crate::common::{injection_vc, minimal_request, VcLadder};
+use ofar_engine::{InputCtx, Packet, Policy, Request, RouterView, SimConfig};
+use ofar_topology::GroupId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Valiant routing.
+#[derive(Clone, Debug)]
+pub struct ValiantPolicy {
+    ladder: VcLadder,
+    vcs_injection: usize,
+    groups: usize,
+    rng: SmallRng,
+}
+
+impl ValiantPolicy {
+    /// Build for a simulator configuration.
+    pub fn new(cfg: &SimConfig, seed: u64) -> Self {
+        Self {
+            ladder: VcLadder::new(cfg.vcs_local, cfg.vcs_global),
+            vcs_injection: cfg.vcs_injection,
+            groups: cfg.params.groups(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x56414C), // "VAL"
+        }
+    }
+
+    /// Pick a uniform intermediate group different from `src` and `dst`.
+    pub(crate) fn pick_intermediate(
+        rng: &mut SmallRng,
+        groups: usize,
+        src: GroupId,
+        dst: GroupId,
+    ) -> GroupId {
+        debug_assert_ne!(src, dst);
+        debug_assert!(groups >= 3, "Valiant needs a third group");
+        loop {
+            let g = GroupId::from(rng.gen_range(0..groups));
+            if g != src && g != dst {
+                return g;
+            }
+        }
+    }
+}
+
+impl Policy for ValiantPolicy {
+    fn name(&self) -> &'static str {
+        "VAL"
+    }
+
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        _input: InputCtx,
+        pkt: &mut Packet,
+    ) -> Option<Request> {
+        Some(minimal_request(view, pkt, &self.ladder))
+    }
+
+    fn on_inject(&mut self, view: &RouterView<'_>, pkt: &mut Packet) -> usize {
+        let topo = view.fab.topo();
+        let src_group = topo.group_of_node(pkt.src);
+        let dst_group = topo.group_of_node(pkt.dst);
+        if src_group != dst_group && pkt.intermediate.is_none() {
+            pkt.intermediate = Some(Self::pick_intermediate(
+                &mut self.rng,
+                self.groups,
+                src_group,
+                dst_group,
+            ));
+        }
+        injection_vc(self.vcs_injection, pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofar_engine::Network;
+    use ofar_topology::NodeId;
+
+    #[test]
+    fn valiant_paths_stay_within_five_hops() {
+        let cfg = SimConfig::paper(2);
+        let mut net = Network::new(cfg, ValiantPolicy::new(&cfg, 7));
+        let nodes = net.num_nodes();
+        for s in 0..20 {
+            let d = (s + nodes / 2) % nodes;
+            net.generate(NodeId::from(s), NodeId::from(d));
+        }
+        net.run(3000);
+        assert_eq!(net.stats().delivered_packets, 20);
+        // every packet ≤ 5 hops → the average is too
+        assert!(net.stats().avg_hops() <= 5.0);
+    }
+
+    #[test]
+    fn intra_group_traffic_is_minimal() {
+        let cfg = SimConfig::paper(2);
+        let mut net = Network::new(cfg, ValiantPolicy::new(&cfg, 7));
+        // src and dst in the same group, different routers
+        let p = cfg.params.p;
+        net.generate(NodeId::new(0), NodeId::from(p)); // router 0 → router 1
+        net.run(200);
+        assert_eq!(net.stats().delivered_packets, 1);
+        assert_eq!(net.stats().hop_sum, 1, "one local hop expected");
+    }
+
+    #[test]
+    fn intermediate_groups_are_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 9];
+        for _ in 0..9000 {
+            let g =
+                ValiantPolicy::pick_intermediate(&mut rng, 9, GroupId::new(0), GroupId::new(4));
+            counts[g.idx()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[4], 0);
+        for g in [1, 2, 3, 5, 6, 7, 8] {
+            // 9000/7 ≈ 1286 each; allow ±20%
+            assert!((1000..1600).contains(&counts[g]), "group {g}: {}", counts[g]);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the routing layer: ladder monotonicity for
+//! arbitrary VC budgets, and end-to-end delivery for random traffic
+//! under every mechanism.
+
+use ofar_engine::{Network, Policy, SimConfig};
+use ofar_routing::{MechanismKind, VcLadder};
+use ofar_topology::NodeId;
+use proptest::prelude::*;
+
+fn pkt(local_hops: u8, global_hops: u8) -> ofar_engine::Packet {
+    ofar_engine::Packet {
+        id: 0,
+        injected_at: 0,
+        src: NodeId::new(0),
+        dst: NodeId::new(1),
+        intermediate: None,
+        flags: 0,
+        ring_exits_left: 0,
+        local_hops,
+        global_hops,
+        ring_hops: 0,
+        wait: 0,
+        cur_group: ofar_topology::GroupId::new(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ladder_never_exceeds_vc_budget(
+        vcs_local in 1usize..8,
+        vcs_global in 1usize..4,
+        local_hops in 0u8..10,
+        global_hops in 0u8..4,
+    ) {
+        use ofar_routing::common::GroupPos;
+        let l = VcLadder::new(vcs_local, vcs_global);
+        let p = pkt(local_hops, global_hops);
+        for pos in [GroupPos::Source, GroupPos::Intermediate, GroupPos::Destination] {
+            prop_assert!(l.local_vc(&p, pos) < vcs_local);
+            prop_assert!(l.global_vc(pos) < vcs_global);
+        }
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_position(
+        vcs_local in 3usize..8,
+        vcs_global in 2usize..4,
+        local_hops in 0u8..3,
+    ) {
+        use ofar_routing::common::GroupPos;
+        let l = VcLadder::new(vcs_local, vcs_global);
+        let p = pkt(local_hops, 0);
+        // source < intermediate <= destination for locals; the canonical
+        // deadlock-freedom argument needs strict source < intermediate
+        // and intermediate < destination when budgets allow.
+        let src = l.local_vc(&p, GroupPos::Source);
+        let inter = l.local_vc(&p, GroupPos::Intermediate);
+        let dst = l.local_vc(&p, GroupPos::Destination);
+        prop_assert!(src < inter, "src {src} !< inter {inter}");
+        prop_assert!(inter < dst || vcs_local < 3);
+        prop_assert!(l.global_vc(GroupPos::Source) < l.global_vc(GroupPos::Intermediate));
+    }
+
+    #[test]
+    fn every_mechanism_delivers_random_traffic(
+        seed in any::<u64>(),
+        pairs in prop::collection::vec((0usize..72, 0usize..72), 1..60),
+    ) {
+        for kind in [
+            MechanismKind::Min,
+            MechanismKind::Valiant,
+            MechanismKind::Pb,
+            MechanismKind::Par,
+            MechanismKind::Ofar,
+            MechanismKind::OfarL,
+        ] {
+            let cfg = kind.adapt_config(SimConfig::paper(2).with_seed(seed));
+            let mut net = Network::new(cfg, kind.build(&cfg, seed));
+            let mut expected = 0u64;
+            for &(s, d) in &pairs {
+                if s != d {
+                    net.generate(NodeId::from(s), NodeId::from(d));
+                    expected += 1;
+                }
+            }
+            let mut guard = 0u64;
+            while !net.drained() {
+                net.step();
+                guard += 1;
+                prop_assert!(guard < 300_000, "{} failed to drain", kind.name());
+            }
+            prop_assert_eq!(net.stats().delivered_packets, expected);
+        }
+    }
+}
+
+#[test]
+fn mechanism_ring_requirements_are_enforced() {
+    // Building an OFAR network without a ring must panic.
+    let cfg = SimConfig::paper(2); // RingMode::None
+    let result = std::panic::catch_unwind(|| {
+        let policy = MechanismKind::Ofar.build(&cfg, 0);
+        let _ = Network::new(cfg, policy);
+    });
+    assert!(result.is_err(), "OFAR without a ring must be rejected");
+    assert!(MechanismKind::Ofar.needs_ring());
+    let policy = MechanismKind::Ofar.build(&cfg, 0);
+    assert!(policy.needs_ring());
+}

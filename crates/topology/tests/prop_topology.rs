@@ -1,0 +1,132 @@
+//! Property-based tests of the Dragonfly topology and the Hamiltonian
+//! ring family.
+
+use ofar_topology::{Dragonfly, GroupId, HamiltonianRing, MinimalHop, NodeId, RouterId};
+use proptest::prelude::*;
+
+/// Supported network sizes for exhaustive-ish property checks.
+fn h_values() -> impl Strategy<Value = usize> {
+    2usize..=5
+}
+
+/// Walk the minimal route from `src` router to `dst` node, returning the
+/// visited routers.
+fn walk(topo: &Dragonfly, src: RouterId, dst: NodeId) -> Vec<RouterId> {
+    let mut cur = src;
+    let mut visited = vec![cur];
+    loop {
+        match topo.minimal_hop_to_node(cur, dst) {
+            MinimalHop::Eject { node } => {
+                assert_eq!(topo.first_node_of(cur).idx() + node, dst.idx());
+                return visited;
+            }
+            MinimalHop::Local { port } => cur = topo.local_neighbor(cur, port),
+            MinimalHop::Global { port } => cur = topo.global_neighbor(cur, port).0,
+        }
+        visited.push(cur);
+        assert!(visited.len() <= 4, "minimal walk exceeded the diameter");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minimal_routes_reach_any_destination(h in h_values(), seed in any::<u64>()) {
+        let topo = Dragonfly::balanced(h);
+        let src = RouterId::from((seed as usize) % topo.num_routers());
+        let dst = NodeId::from((seed as usize / 7) % topo.num_nodes());
+        let visited = walk(&topo, src, dst);
+        // never visits a router twice
+        let mut sorted = visited.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), visited.len());
+        // hop count equals the distance formula
+        prop_assert_eq!(
+            visited.len() - 1,
+            topo.min_router_hops(src, topo.router_of_node(dst))
+        );
+    }
+
+    #[test]
+    fn global_links_are_involutions(h in h_values(), seed in any::<u64>()) {
+        let topo = Dragonfly::balanced(h);
+        let r = RouterId::from((seed as usize) % topo.num_routers());
+        let k = (seed as usize / 13) % h;
+        let (n, back) = topo.global_neighbor(r, k);
+        prop_assert_ne!(topo.group_of(n), topo.group_of(r));
+        prop_assert_eq!(topo.global_neighbor(n, back), (r, k));
+    }
+
+    #[test]
+    fn local_ports_are_involutions(h in h_values(), seed in any::<u64>()) {
+        let topo = Dragonfly::balanced(h);
+        let r = RouterId::from((seed as usize) % topo.num_routers());
+        let a = topo.routers_per_group();
+        let port = (seed as usize / 13) % (a - 1);
+        let n = topo.local_neighbor(r, port);
+        let back = topo.local_port_to(n, r);
+        prop_assert_eq!(topo.local_neighbor(n, back), r);
+        prop_assert_eq!(topo.group_of(n), topo.group_of(r));
+    }
+
+    #[test]
+    fn group_hop_is_at_most_two(h in h_values(), seed in any::<u64>()) {
+        let topo = Dragonfly::balanced(h);
+        let src = RouterId::from((seed as usize) % topo.num_routers());
+        let g = GroupId::from((seed as usize / 11) % topo.num_groups());
+        let mut cur = src;
+        let mut hops = 0;
+        while let Some(hop) = topo.hop_toward_group(cur, g) {
+            cur = match hop {
+                MinimalHop::Local { port } => topo.local_neighbor(cur, port),
+                MinimalHop::Global { port } => topo.global_neighbor(cur, port).0,
+                MinimalHop::Eject { .. } => unreachable!(),
+            };
+            hops += 1;
+            prop_assert!(hops <= 2);
+        }
+        prop_assert_eq!(topo.group_of(cur), g);
+    }
+
+    #[test]
+    fn rings_survive_exactly_the_unhit_count(h in 2usize..=4, seed in any::<u64>()) {
+        let topo = Dragonfly::balanced(h);
+        let rings = HamiltonianRing::embed_disjoint(&topo, h);
+        // fail one edge from a pseudo-random subset of rings; because the
+        // family is edge-disjoint, survivors = rings without a failed edge
+        let mut failed = Vec::new();
+        let mut expected = rings.len();
+        for (i, ring) in rings.iter().enumerate() {
+            if (seed >> i) & 1 == 1 {
+                let e = ring.edges()[(seed as usize / (i + 2)) % ring.len()];
+                failed.push((e.from(), e.to(&topo)));
+                expected -= 1;
+            }
+        }
+        prop_assert_eq!(
+            HamiltonianRing::surviving_rings(&topo, &rings, &failed),
+            expected
+        );
+    }
+
+    #[test]
+    fn ring_positions_are_cyclic_permutations(h in h_values(), idx_seed in any::<u64>()) {
+        let topo = Dragonfly::balanced(h);
+        let idx = (idx_seed as usize) % h;
+        let ring = HamiltonianRing::embedded(&topo, idx);
+        prop_assert!(ring.validate(&topo).is_ok());
+        let start = RouterId::from((idx_seed as usize / 3) % topo.num_routers());
+        // following next_router n times returns to start exactly after
+        // ring.len() steps and not before (single cycle)
+        let mut cur = ring.next_router(start);
+        let mut steps = 1;
+        while cur != start {
+            cur = ring.next_router(cur);
+            steps += 1;
+            prop_assert!(steps <= ring.len());
+        }
+        prop_assert_eq!(steps, ring.len());
+    }
+}

@@ -1,0 +1,334 @@
+//! Traffic patterns and injection processes.
+
+use ofar_topology::{Dragonfly, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A destination distribution (§V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficPattern {
+    /// UN: uniform over all nodes except the source itself.
+    Uniform,
+    /// ADV+N: uniform over the nodes of group `src_group + offset`.
+    Adversarial {
+        /// Group offset `N ∈ 1 .. groups`.
+        offset: usize,
+    },
+}
+
+impl TrafficPattern {
+    /// Short display name matching the paper ("UN", "ADV+2", …).
+    pub fn label(&self) -> String {
+        match self {
+            TrafficPattern::Uniform => "UN".to_string(),
+            TrafficPattern::Adversarial { offset } => format!("ADV+{offset}"),
+        }
+    }
+}
+
+/// A weighted mixture of patterns. Weights need not be normalized.
+#[derive(Clone, Debug)]
+pub struct TrafficSpec {
+    components: Vec<(f64, TrafficPattern)>,
+    total: f64,
+}
+
+impl TrafficSpec {
+    /// A single-pattern spec.
+    pub fn pure(p: TrafficPattern) -> Self {
+        Self::mix(vec![(1.0, p)])
+    }
+
+    /// Uniform traffic.
+    pub fn uniform() -> Self {
+        Self::pure(TrafficPattern::Uniform)
+    }
+
+    /// ADV+`offset` traffic.
+    pub fn adversarial(offset: usize) -> Self {
+        Self::pure(TrafficPattern::Adversarial { offset })
+    }
+
+    /// A weighted mixture.
+    ///
+    /// # Panics
+    /// Panics if no component has positive weight.
+    pub fn mix(components: Vec<(f64, TrafficPattern)>) -> Self {
+        let total: f64 = components.iter().map(|&(w, _)| w).sum();
+        assert!(total > 0.0, "mixture needs positive total weight");
+        Self { components, total }
+    }
+
+    /// The paper's MIX1 (80% UN, 10% ADV+1, 10% ADV+h).
+    pub fn mix1(h: usize) -> Self {
+        Self::mix(vec![
+            (0.8, TrafficPattern::Uniform),
+            (0.1, TrafficPattern::Adversarial { offset: 1 }),
+            (0.1, TrafficPattern::Adversarial { offset: h }),
+        ])
+    }
+
+    /// The paper's MIX2 (60/20/20).
+    pub fn mix2(h: usize) -> Self {
+        Self::mix(vec![
+            (0.6, TrafficPattern::Uniform),
+            (0.2, TrafficPattern::Adversarial { offset: 1 }),
+            (0.2, TrafficPattern::Adversarial { offset: h }),
+        ])
+    }
+
+    /// The paper's MIX3 (20/40/40).
+    pub fn mix3(h: usize) -> Self {
+        Self::mix(vec![
+            (0.2, TrafficPattern::Uniform),
+            (0.4, TrafficPattern::Adversarial { offset: 1 }),
+            (0.4, TrafficPattern::Adversarial { offset: h }),
+        ])
+    }
+
+    /// Component view (weight, pattern).
+    pub fn components(&self) -> &[(f64, TrafficPattern)] {
+        &self.components
+    }
+
+    /// Display label ("UN", "ADV+6", "MIX(0.8 UN + …)").
+    pub fn label(&self) -> String {
+        if self.components.len() == 1 {
+            return self.components[0].1.label();
+        }
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|(w, p)| format!("{:.0}% {}", 100.0 * w / self.total, p.label()))
+            .collect();
+        format!("MIX({})", parts.join(" + "))
+    }
+}
+
+/// A seeded destination generator over a topology.
+#[derive(Clone, Debug)]
+pub struct TrafficGen {
+    nodes: usize,
+    nodes_per_group: usize,
+    groups: usize,
+    spec: TrafficSpec,
+    rng: SmallRng,
+}
+
+impl TrafficGen {
+    /// Build a generator for `topo` with mixture `spec`.
+    pub fn new(topo: &Dragonfly, spec: TrafficSpec, seed: u64) -> Self {
+        for &(_, p) in spec.components() {
+            if let TrafficPattern::Adversarial { offset } = p {
+                assert!(
+                    offset >= 1 && offset < topo.num_groups(),
+                    "ADV offset {offset} out of range (groups = {})",
+                    topo.num_groups()
+                );
+            }
+        }
+        Self {
+            nodes: topo.num_nodes(),
+            nodes_per_group: topo.routers_per_group() * topo.nodes_per_router(),
+            groups: topo.num_groups(),
+            spec,
+            rng: SmallRng::seed_from_u64(seed ^ 0x7EAFF1C), // "traffic"
+        }
+    }
+
+    /// Swap the pattern mixture (transient experiments, Fig. 6), keeping
+    /// the RNG stream.
+    pub fn set_spec(&mut self, spec: TrafficSpec) {
+        self.spec = spec;
+    }
+
+    /// Current mixture.
+    pub fn spec(&self) -> &TrafficSpec {
+        &self.spec
+    }
+
+    /// Sample a destination for a packet from `src`.
+    pub fn destination(&mut self, src: NodeId) -> NodeId {
+        let pattern = self.sample_pattern();
+        match pattern {
+            TrafficPattern::Uniform => loop {
+                let d = self.rng.gen_range(0..self.nodes);
+                if d != src.idx() {
+                    return NodeId::from(d);
+                }
+            },
+            TrafficPattern::Adversarial { offset } => {
+                let src_group = src.idx() / self.nodes_per_group;
+                let dst_group = (src_group + offset) % self.groups;
+                let d = dst_group * self.nodes_per_group + self.rng.gen_range(0..self.nodes_per_group);
+                debug_assert_ne!(d, src.idx(), "ADV offset ≥ 1 never self-targets");
+                NodeId::from(d)
+            }
+        }
+    }
+
+    fn sample_pattern(&mut self) -> TrafficPattern {
+        let comps = &self.spec.components;
+        if comps.len() == 1 {
+            return comps[0].1;
+        }
+        let mut x = self.rng.gen_range(0.0..self.spec.total);
+        for &(w, p) in comps {
+            if x < w {
+                return p;
+            }
+            x -= w;
+        }
+        comps.last().unwrap().1
+    }
+}
+
+/// A Bernoulli injection process: every node generates a packet each
+/// cycle with probability `load / packet_size` (`load` is in
+/// phits/(node·cycle), the paper's offered-load unit).
+#[derive(Clone, Debug)]
+pub struct Bernoulli {
+    prob: f64,
+    rng: SmallRng,
+}
+
+impl Bernoulli {
+    /// Build for an offered load and packet size.
+    ///
+    /// # Panics
+    /// Panics if the implied packet probability exceeds 1.
+    pub fn new(load_phits: f64, packet_size: usize, seed: u64) -> Self {
+        let prob = load_phits / packet_size as f64;
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "offered load {load_phits} phits/node/cycle exceeds 1 packet/cycle"
+        );
+        Self {
+            prob,
+            rng: SmallRng::seed_from_u64(seed ^ 0xBE2107111), // "bernoulli"
+        }
+    }
+
+    /// Packet-generation probability per node per cycle.
+    pub fn prob(&self) -> f64 {
+        self.prob
+    }
+
+    /// Run one cycle: calls `sink(src)` for every node that generates a
+    /// packet this cycle.
+    pub fn cycle(&mut self, nodes: usize, mut sink: impl FnMut(NodeId)) {
+        if self.prob == 0.0 {
+            return;
+        }
+        for n in 0..nodes {
+            if self.rng.gen_bool(self.prob) {
+                sink(NodeId::from(n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::balanced(3)
+    }
+
+    #[test]
+    fn uniform_never_self_targets_and_covers_groups() {
+        let topo = topo();
+        let mut gen = TrafficGen::new(&topo, TrafficSpec::uniform(), 1);
+        let src = NodeId::new(5);
+        let mut group_seen = vec![false; topo.num_groups()];
+        for _ in 0..20_000 {
+            let d = gen.destination(src);
+            assert_ne!(d, src);
+            group_seen[topo.group_of_node(d).idx()] = true;
+        }
+        assert!(group_seen.iter().all(|&s| s), "uniform must reach all groups");
+    }
+
+    #[test]
+    fn adversarial_targets_exactly_offset_group() {
+        let topo = topo();
+        for offset in [1, 3, topo.num_groups() - 1] {
+            let mut gen = TrafficGen::new(&topo, TrafficSpec::adversarial(offset), 2);
+            for src in [0usize, 17, topo.num_nodes() - 1] {
+                let src = NodeId::from(src);
+                let want = (topo.group_of_node(src).idx() + offset) % topo.num_groups();
+                for _ in 0..100 {
+                    let d = gen.destination(src);
+                    assert_eq!(topo.group_of_node(d).idx(), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adversarial_offset_must_be_in_range() {
+        let topo = topo();
+        let groups = topo.num_groups();
+        TrafficGen::new(&topo, TrafficSpec::adversarial(groups), 1);
+    }
+
+    #[test]
+    fn mix_rates_are_respected() {
+        let topo = topo();
+        let mut gen = TrafficGen::new(&topo, TrafficSpec::mix1(3), 3);
+        let src = NodeId::new(0);
+        let src_group = topo.group_of_node(src).idx();
+        let (mut adv1, mut adv3, mut other) = (0u32, 0u32, 0u32);
+        let n = 30_000;
+        for _ in 0..n {
+            let d = gen.destination(src);
+            let g = topo.group_of_node(d).idx();
+            let g_rel = (g + topo.num_groups() - src_group) % topo.num_groups();
+            match g_rel {
+                1 => adv1 += 1,
+                3 => adv3 += 1,
+                _ => other += 1,
+            }
+        }
+        // 80% UN spreads over 19 groups (~4.2% each to groups 1 and 3),
+        // so adv1 ≈ adv3 ≈ 10% + 4.2% ≈ 14%, other ≈ 72%.
+        let f = |c: u32| f64::from(c) / f64::from(n);
+        assert!((0.10..0.20).contains(&f(adv1)), "adv1 {}", f(adv1));
+        assert!((0.10..0.20).contains(&f(adv3)), "adv3 {}", f(adv3));
+        assert!(f(other) > 0.6, "other {}", f(other));
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_load() {
+        let mut b = Bernoulli::new(0.4, 8, 7); // 0.05 packets/node/cycle
+        let mut count = 0u64;
+        let nodes = 500;
+        let cycles = 2000;
+        for _ in 0..cycles {
+            b.cycle(nodes, |_| count += 1);
+        }
+        let rate = count as f64 / (nodes as f64 * cycles as f64);
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_load_generates_nothing() {
+        let mut b = Bernoulli::new(0.0, 8, 7);
+        b.cycle(100, |_| panic!("no packets expected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1 packet/cycle")]
+    fn overload_rejected() {
+        Bernoulli::new(9.0, 8, 7);
+    }
+
+    #[test]
+    fn labels_match_paper_nomenclature() {
+        assert_eq!(TrafficSpec::uniform().label(), "UN");
+        assert_eq!(TrafficSpec::adversarial(6).label(), "ADV+6");
+        assert!(TrafficSpec::mix2(6).label().starts_with("MIX("));
+    }
+}

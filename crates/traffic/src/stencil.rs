@@ -1,0 +1,298 @@
+//! Near-neighbor (halo-exchange) application traffic.
+//!
+//! The paper's motivation (§I, §III) is that "common HPC applications
+//! with simple near-neighbor communications easily lead to hot-spots in
+//! Dragonflies": ranks of a multi-dimensional domain decomposition
+//! exchange halos with their grid neighbors, and with the default
+//! sequential rank-to-node mapping those neighbors sit in the same or
+//! the adjacent group — producing exactly the ADV-style concentration
+//! on single local/global links that Bhatele et al. measured and that
+//! OFAR's in-transit misrouting targets.
+//!
+//! [`StencilTraffic`] models a periodic 2-D/3-D Cartesian decomposition:
+//! each rank repeatedly sends one packet to each of its `2·dims`
+//! neighbors. Two rank-to-node mappings are provided:
+//!
+//! * [`TaskMapping::Sequential`] — rank `i` on node `i` (the default of
+//!   every MPI launcher; the hot-spot case);
+//! * [`TaskMapping::RandomizedNodes`] — a seeded random permutation of
+//!   ranks over nodes, the mitigation Bhatele et al. propose (§III
+//!   discusses why this trades locality for balance; OFAR's point is
+//!   that the network should solve it instead).
+
+use ofar_topology::{Dragonfly, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Rank-to-node placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TaskMapping {
+    /// Rank `i` runs on node `i` (locality-preserving, hot-spot-prone).
+    Sequential,
+    /// Ranks are placed by a seeded random permutation of all nodes
+    /// (destroys locality, balances links).
+    RandomizedNodes,
+}
+
+/// A periodic Cartesian halo-exchange workload over all nodes.
+#[derive(Clone, Debug)]
+pub struct StencilTraffic {
+    /// Grid extents; the product must equal the node count.
+    dims: Vec<usize>,
+    /// `perm[rank]` = node the rank runs on.
+    perm: Vec<NodeId>,
+    mapping: TaskMapping,
+}
+
+impl StencilTraffic {
+    /// Build a stencil over every node of `topo`. `dims` must multiply
+    /// to the node count (use [`Self::square_2d`]/[`Self::cube_3d`] for
+    /// automatic factorizations).
+    ///
+    /// # Panics
+    /// Panics if the grid does not tile the machine exactly.
+    pub fn new(topo: &Dragonfly, dims: Vec<usize>, mapping: TaskMapping, seed: u64) -> Self {
+        let nodes = topo.num_nodes();
+        let cells: usize = dims.iter().product();
+        assert_eq!(
+            cells, nodes,
+            "stencil grid {dims:?} must tile the {nodes}-node machine"
+        );
+        assert!(!dims.is_empty());
+        let mut perm: Vec<NodeId> = (0..nodes).map(NodeId::from).collect();
+        if mapping == TaskMapping::RandomizedNodes {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x57E7C11); // "stencil"
+            perm.shuffle(&mut rng);
+        }
+        Self {
+            dims,
+            perm,
+            mapping,
+        }
+    }
+
+    /// The most square 2-D factorization of the node count.
+    pub fn square_2d(topo: &Dragonfly, mapping: TaskMapping, seed: u64) -> Self {
+        let n = topo.num_nodes();
+        let mut best = (1, n);
+        let mut d = 1;
+        while d * d <= n {
+            if n % d == 0 {
+                best = (d, n / d);
+            }
+            d += 1;
+        }
+        Self::new(topo, vec![best.0, best.1], mapping, seed)
+    }
+
+    /// A 3-D factorization of the node count, as cubic as divisors allow.
+    pub fn cube_3d(topo: &Dragonfly, mapping: TaskMapping, seed: u64) -> Self {
+        let n = topo.num_nodes();
+        // best (a, b, c) with a·b·c = n minimizing max/min extent
+        let mut best = vec![1, 1, n];
+        let mut best_score = n;
+        let mut a = 1;
+        while a * a * a <= n {
+            if n % a == 0 {
+                let m = n / a;
+                let mut b = a;
+                while b * b <= m {
+                    if m % b == 0 {
+                        let c = m / b;
+                        let score = c - a;
+                        if score < best_score {
+                            best_score = score;
+                            best = vec![a, b, c];
+                        }
+                    }
+                    b += 1;
+                }
+            }
+            a += 1;
+        }
+        Self::new(topo, best, mapping, seed)
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The mapping in use.
+    pub fn mapping(&self) -> TaskMapping {
+        self.mapping
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of_rank(&self, rank: usize) -> NodeId {
+        self.perm[rank]
+    }
+
+    /// Grid coordinates of a rank.
+    fn coords(&self, mut rank: usize) -> Vec<usize> {
+        let mut c = Vec::with_capacity(self.dims.len());
+        for &d in &self.dims {
+            c.push(rank % d);
+            rank /= d;
+        }
+        c
+    }
+
+    fn rank_of(&self, coords: &[usize]) -> usize {
+        let mut rank = 0;
+        for (i, &c) in coords.iter().enumerate().rev() {
+            rank = rank * self.dims[i] + c;
+        }
+        rank
+    }
+
+    /// The `2·dims` halo neighbors of `rank` (periodic boundaries),
+    /// deduplicated for degenerate extents.
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        let coords = self.coords(rank);
+        let mut out = Vec::with_capacity(2 * self.dims.len());
+        for (axis, &extent) in self.dims.iter().enumerate() {
+            if extent <= 1 {
+                continue;
+            }
+            for step in [1usize, extent - 1] {
+                let mut c = coords.clone();
+                c[axis] = (c[axis] + step) % extent;
+                let n = self.rank_of(&c);
+                if n != rank && !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// One full halo-exchange round: `sink(src_node, dst_node)` once per
+    /// (rank, neighbor) pair — the burst a BSP application emits after a
+    /// barrier.
+    pub fn exchange_round(&self, mut sink: impl FnMut(NodeId, NodeId)) {
+        for rank in 0..self.perm.len() {
+            let src = self.node_of_rank(rank);
+            for n in self.neighbors(rank) {
+                let dst = self.node_of_rank(n);
+                if src != dst {
+                    sink(src, dst);
+                }
+            }
+        }
+    }
+
+    /// Total messages per exchange round.
+    pub fn messages_per_round(&self) -> usize {
+        let mut count = 0;
+        self.exchange_round(|_, _| count += 1);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::balanced(2) // 72 nodes
+    }
+
+    #[test]
+    fn square_factorization_tiles_the_machine() {
+        let t = topo();
+        let s = StencilTraffic::square_2d(&t, TaskMapping::Sequential, 0);
+        assert_eq!(s.dims().iter().product::<usize>(), t.num_nodes());
+        assert_eq!(s.dims(), &[8, 9]);
+        let c = StencilTraffic::cube_3d(&t, TaskMapping::Sequential, 0);
+        assert_eq!(c.dims().iter().product::<usize>(), 72);
+        assert_eq!(c.dims(), &[3, 4, 6]);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_periodic() {
+        let t = topo();
+        let s = StencilTraffic::square_2d(&t, TaskMapping::Sequential, 0);
+        for rank in 0..72 {
+            let ns = s.neighbors(rank);
+            assert!(ns.len() <= 4);
+            for &n in &ns {
+                assert!(
+                    s.neighbors(n).contains(&rank),
+                    "rank {rank} ↔ {n} not symmetric"
+                );
+            }
+        }
+        // corner rank wraps around
+        let ns0 = s.neighbors(0);
+        assert!(ns0.contains(&7), "x-periodicity"); // (7,0) is x-neighbor of (0,0)
+    }
+
+    #[test]
+    fn sequential_mapping_is_identity() {
+        let t = topo();
+        let s = StencilTraffic::square_2d(&t, TaskMapping::Sequential, 0);
+        for r in 0..72 {
+            assert_eq!(s.node_of_rank(r).idx(), r);
+        }
+    }
+
+    #[test]
+    fn randomized_mapping_is_a_permutation() {
+        let t = topo();
+        let s = StencilTraffic::square_2d(&t, TaskMapping::RandomizedNodes, 9);
+        let mut seen = vec![false; 72];
+        let mut moved = 0;
+        for r in 0..72 {
+            let n = s.node_of_rank(r);
+            assert!(!seen[n.idx()]);
+            seen[n.idx()] = true;
+            moved += usize::from(n.idx() != r);
+        }
+        assert!(moved > 36, "shuffle left most ranks in place");
+        // deterministic per seed
+        let s2 = StencilTraffic::square_2d(&t, TaskMapping::RandomizedNodes, 9);
+        assert_eq!(s.node_of_rank(5), s2.node_of_rank(5));
+    }
+
+    #[test]
+    fn exchange_round_has_expected_volume() {
+        let t = topo();
+        let s = StencilTraffic::square_2d(&t, TaskMapping::Sequential, 0);
+        // 72 ranks × 4 neighbors on an 8×9 periodic grid
+        assert_eq!(s.messages_per_round(), 72 * 4);
+        let mut pairs = Vec::new();
+        s.exchange_round(|a, b| pairs.push((a, b)));
+        assert!(pairs.iter().all(|&(a, b)| a != b));
+    }
+
+    #[test]
+    fn sequential_mapping_concentrates_on_few_groups() {
+        // The §I/§III claim: with sequential mapping, a rank's neighbors
+        // live in at most a couple of groups; randomized mapping spreads
+        // them. Measure the mean number of *distinct destination groups*
+        // per source group's outgoing halo traffic.
+        let t = topo();
+        let groups_touched = |mapping: TaskMapping| -> f64 {
+            let s = StencilTraffic::square_2d(&t, mapping, 4);
+            let g = t.num_groups();
+            let per_group = t.num_nodes() / g;
+            let mut touched = vec![std::collections::HashSet::new(); g];
+            s.exchange_round(|a, b| {
+                let ga = a.idx() / per_group;
+                let gb = b.idx() / per_group;
+                if ga != gb {
+                    touched[ga].insert(gb);
+                }
+            });
+            touched.iter().map(|s| s.len() as f64).sum::<f64>() / g as f64
+        };
+        let seq = groups_touched(TaskMapping::Sequential);
+        let rnd = groups_touched(TaskMapping::RandomizedNodes);
+        assert!(
+            seq < rnd,
+            "sequential ({seq:.2} groups) must be more concentrated than randomized ({rnd:.2})"
+        );
+    }
+}

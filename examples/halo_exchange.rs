@@ -1,0 +1,89 @@
+//! The paper's motivating application scenario (§I, §III): a
+//! bulk-synchronous halo exchange on a 2-D domain decomposition.
+//!
+//! With the default **sequential** rank-to-node mapping, grid neighbors
+//! sit in the same or adjacent groups and the exchange concentrates on a
+//! few local/global links — the Bhatele et al. hot-spot problem. Their
+//! mitigation is **randomizing the task mapping**, which balances links
+//! by destroying locality. The paper's position is that the *network*
+//! should solve it instead: OFAR's in-transit misrouting recovers the
+//! performance of the randomized mapping while keeping the locality.
+//!
+//! This example measures the time to complete a fixed number of
+//! halo-exchange rounds under both mappings for MIN, VAL, PB and OFAR.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example halo_exchange
+//! ```
+
+use ofar::prelude::*;
+use ofar_core::traffic::{StencilTraffic, TaskMapping};
+
+/// Drain `rounds` back-to-back exchange rounds and return the cycles.
+fn run(kind: MechanismKind, mapping: TaskMapping, rounds: usize) -> u64 {
+    let cfg = kind.adapt_config(SimConfig::paper(2));
+    let mut net = Network::new(cfg, kind.build(&cfg, 17));
+    let topo = Dragonfly::new(cfg.params);
+    let stencil = StencilTraffic::square_2d(&topo, mapping, 23);
+    for _ in 0..rounds {
+        stencil.exchange_round(|src, dst| net.generate(src, dst));
+    }
+    while !net.drained() {
+        net.step();
+        assert!(net.now() < 1_000_000, "exchange failed to drain");
+    }
+    net.now()
+}
+
+fn main() {
+    let rounds = 30;
+    let topo = Dragonfly::balanced(2);
+    let s = StencilTraffic::square_2d(&topo, TaskMapping::Sequential, 23);
+    println!(
+        "halo exchange on a {:?} periodic grid over {} nodes, {} rounds \
+         ({} messages/round)\n",
+        s.dims(),
+        topo.num_nodes(),
+        rounds,
+        s.messages_per_round()
+    );
+
+    println!(
+        "{:8} {:>16} {:>16} {:>10}",
+        "mech", "sequential", "randomized", "seq/rand"
+    );
+    let mut results = Vec::new();
+    for kind in [
+        MechanismKind::Min,
+        MechanismKind::Valiant,
+        MechanismKind::Pb,
+        MechanismKind::Ofar,
+    ] {
+        let seq = run(kind, TaskMapping::Sequential, rounds);
+        let rnd = run(kind, TaskMapping::RandomizedNodes, rounds);
+        println!(
+            "{:8} {:>14}cy {:>14}cy {:>10.2}",
+            kind.name(),
+            seq,
+            rnd,
+            seq as f64 / rnd as f64
+        );
+        results.push((kind, seq, rnd));
+    }
+
+    let min_seq = results[0].1;
+    let (_, ofar_seq, ofar_rnd) = results[3];
+    println!(
+        "\nWith sequential mapping, OFAR finishes {:.2}x faster than MIN — the \
+         network absorbs the hot links the mapping creates. And OFAR's \
+         sequential run beats its own randomized one ({} vs {} cycles): with \
+         an adaptive network there is no reason to give up locality by \
+         randomizing the task mapping — the paper's §III argument for a \
+         network-level solution.",
+        min_seq as f64 / ofar_seq as f64,
+        ofar_seq,
+        ofar_rnd,
+    );
+    assert!(ofar_seq < min_seq, "OFAR must beat MIN on the hot-spot mapping");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a small Dragonfly, route a few thousand packets with
+//! OFAR and with minimal routing, and compare.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ofar::prelude::*;
+
+fn main() {
+    // A small balanced Dragonfly: h = 2 → 9 groups, 36 routers, 72 nodes
+    // (the topology of the paper's Fig. 1), with the paper's §V router
+    // model: 8-phit packets, 3/2 VCs, 32/256-phit FIFOs, 10/100-cycle
+    // link latencies.
+    let cfg = SimConfig::paper(2);
+    println!(
+        "Dragonfly h=2: {} groups, {} routers, {} nodes, {} ports/router",
+        cfg.params.groups(),
+        cfg.params.routers(),
+        cfg.params.nodes(),
+        cfg.params.ports_per_router(),
+    );
+
+    // Steady-state measurement: offered load 0.2 phits/(node·cycle) of
+    // adversarial traffic (every group sends to the group two positions
+    // over — the ADV+2 pattern of §V).
+    let opts = SteadyOpts {
+        warmup: 3_000,
+        measure: 5_000,
+    };
+    let spec = TrafficSpec::adversarial(2);
+
+    println!("\n{:8} {:>12} {:>12} {:>16}", "mech", "latency", "accepted", "misroutes/pkt");
+    for kind in [
+        MechanismKind::Min,
+        MechanismKind::Valiant,
+        MechanismKind::Pb,
+        MechanismKind::Ofar,
+        MechanismKind::OfarL,
+    ] {
+        let p = steady_state(cfg, kind, &spec, 0.2, opts, 42);
+        println!(
+            "{:8} {:>12.1} {:>12.4} {:>16.3}",
+            kind.name(),
+            p.avg_latency,
+            p.throughput,
+            p.misroute_rate
+        );
+    }
+
+    println!(
+        "\nMIN collapses (1/2h²≈{:.3} bound, §III); the adaptive mechanisms \
+         accept the full 0.2 load — OFAR at the lowest latency.",
+        ofar::theory::min_adversarial_bound(&cfg.params)
+    );
+}

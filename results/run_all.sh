@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+for f in fig2b fig3 fig4 fig5 fig6 fig7 fig8 fig9 theory rings ablation_thresholds ablation_pb ablation_patience; do
+  ./target/release/$f > /root/repo/results/$f.txt 2>&1
+  echo "done $f $(date +%H:%M:%S)" >> /root/repo/results/progress.log
+done

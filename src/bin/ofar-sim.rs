@@ -1,0 +1,136 @@
+//! `ofar-sim` — command-line front end to the simulator.
+//!
+//! ```text
+//! ofar-sim [OPTIONS]
+//!
+//!   --mech <MIN|VAL|PB|PAR|OFAR|OFAR-L>   routing mechanism   [OFAR]
+//!   --pattern <UN|ADV+<n>|MIX1|MIX2|MIX3> traffic pattern     [UN]
+//!   --load <f>            offered load, phits/(node·cycle)    [0.3]
+//!   --h <n>               Dragonfly h (balanced max-size)     [2]
+//!   --warmup <cycles>                                         [3000]
+//!   --measure <cycles>                                        [5000]
+//!   --ring <none|physical|embedded>   escape model  [per mechanism]
+//!   --rings <k>           number of escape rings              [1]
+//!   --seed <n>                                                [42]
+//!   --burst <pkts/node>   burst mode instead of steady state
+//! ```
+
+use ofar::prelude::*;
+use std::process::exit;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.get(flag) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {flag}: {v}");
+                exit(2);
+            }),
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", include_str!("ofar-sim.rs").lines().skip(2).take(14).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+        return;
+    }
+    let args = Args(argv);
+
+    let kind = match args.get("--mech").unwrap_or("OFAR") {
+        "MIN" => MechanismKind::Min,
+        "VAL" => MechanismKind::Valiant,
+        "PB" => MechanismKind::Pb,
+        "PAR" => MechanismKind::Par,
+        "OFAR" => MechanismKind::Ofar,
+        "OFAR-L" => MechanismKind::OfarL,
+        other => {
+            eprintln!("unknown mechanism {other}");
+            exit(2);
+        }
+    };
+    let h: usize = args.parse("--h", 2);
+    let seed: u64 = args.parse("--seed", 42);
+    let mut cfg = SimConfig::paper(h).with_seed(seed);
+    cfg.escape_rings = args.parse("--rings", 1);
+    match args.get("--ring") {
+        Some("none") => cfg.ring = RingMode::None,
+        Some("physical") => cfg.ring = RingMode::Physical,
+        Some("embedded") => cfg.ring = RingMode::Embedded,
+        Some(other) => {
+            eprintln!("unknown ring model {other}");
+            exit(2);
+        }
+        None => {}
+    }
+    let cfg = kind.adapt_config(cfg);
+
+    let pattern = args.get("--pattern").unwrap_or("UN");
+    let spec = match pattern {
+        "UN" => TrafficSpec::uniform(),
+        "MIX1" => TrafficSpec::mix1(h),
+        "MIX2" => TrafficSpec::mix2(h),
+        "MIX3" => TrafficSpec::mix3(h),
+        s if s.starts_with("ADV+") => match s[4..].parse() {
+            Ok(n) => TrafficSpec::adversarial(n),
+            Err(_) => {
+                eprintln!("bad ADV offset in {s}");
+                exit(2);
+            }
+        },
+        other => {
+            eprintln!("unknown pattern {other}");
+            exit(2);
+        }
+    };
+
+    eprintln!(
+        "{} on h={h} ({} nodes), {} traffic, ring {:?} ×{}",
+        kind.name(),
+        cfg.params.nodes(),
+        spec.label(),
+        cfg.ring,
+        cfg.escape_rings,
+    );
+
+    if let Some(ppn) = args.get("--burst") {
+        let ppn: usize = ppn.parse().unwrap_or_else(|_| {
+            eprintln!("bad burst size");
+            exit(2);
+        });
+        let r = burst(cfg, kind, &spec, ppn, seed);
+        match r.cycles {
+            Some(c) => println!(
+                "burst of {ppn} pkts/node drained in {c} cycles (avg latency {:.1}, {} ring entries)",
+                r.avg_latency, r.ring_entries
+            ),
+            None => {
+                println!("STALLED after {} deliveries", r.delivered);
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let load: f64 = args.parse("--load", 0.3);
+    let opts = SteadyOpts {
+        warmup: args.parse("--warmup", 3_000),
+        measure: args.parse("--measure", 5_000),
+    };
+    let p = steady_state(cfg, kind, &spec, load, opts, seed);
+    println!(
+        "offered {:.3}  accepted {:.4}  latency {:.1} cycles  hops {:.2}  misroutes/pkt {:.3}  ring entries {}",
+        p.load, p.throughput, p.avg_latency, p.avg_hops, p.misroute_rate, p.ring_entries
+    );
+}

@@ -1,0 +1,44 @@
+//! # ofar — On-the-Fly Adaptive Routing for Dragonfly networks
+//!
+//! A full, from-scratch reproduction of M. García et al., *"On-the-Fly
+//! Adaptive Routing in High-Radix Hierarchical Networks"*, ICPP 2012:
+//!
+//! * the Dragonfly topology with the palmtree global arrangement and
+//!   Hamiltonian escape rings ([`topology`]);
+//! * a cycle-accurate input-buffered VCT router/network simulator with
+//!   credit flow control and an iterative separable LRS allocator
+//!   ([`engine`]);
+//! * the routing mechanisms MIN, VAL, PB, PAR, **OFAR** and **OFAR-L**
+//!   ([`routing`]);
+//! * the synthetic traffic models UN, ADV+N and the paper's mixes
+//!   ([`traffic`]);
+//! * experiment runners and per-figure regeneration harnesses
+//!   ([`experiments`]).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results. The `examples/`
+//! directory contains runnable walkthroughs; `crates/bench` regenerates
+//! every figure of the paper.
+//!
+//! ```
+//! use ofar::prelude::*;
+//!
+//! let cfg = SimConfig::paper(2); // h = 2: 9 groups, 72 nodes
+//! let opts = SteadyOpts { warmup: 1_000, measure: 2_000 };
+//! let ofar = steady_state(
+//!     cfg,
+//!     MechanismKind::Ofar,
+//!     &TrafficSpec::adversarial(2),
+//!     0.25,
+//!     opts,
+//!     1,
+//! );
+//! assert!(ofar.throughput > 0.15);
+//! ```
+
+pub use ofar_core::*;
+
+/// Convenience prelude (re-export of [`ofar_core::prelude`]).
+pub mod prelude {
+    pub use ofar_core::prelude::*;
+}

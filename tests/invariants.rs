@@ -1,0 +1,125 @@
+//! Cross-crate conservation invariants: whatever the mechanism, traffic
+//! pattern or escape-ring model, the simulator must neither create nor
+//! destroy phits, and the credit ledger of every link must balance.
+
+use ofar::prelude::*;
+
+fn drive(
+    kind: MechanismKind,
+    spec: TrafficSpec,
+    ring: RingMode,
+    load: f64,
+    cycles: u64,
+    seed: u64,
+) -> Network<Mechanism> {
+    let mut cfg = SimConfig::paper(2).with_seed(seed);
+    cfg.ring = ring;
+    let cfg = kind.adapt_config(cfg);
+    let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    let topo = Dragonfly::new(cfg.params);
+    let mut gen = TrafficGen::new(&topo, spec, seed + 1);
+    let mut bern = Bernoulli::new(load, cfg.packet_size, seed + 2);
+    let nodes = net.num_nodes();
+    for _ in 0..cycles {
+        bern.cycle(nodes, |src| {
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        });
+        net.step();
+    }
+    net
+}
+
+fn assert_conservation(net: &Network<Mechanism>) {
+    let size = net.cfg().packet_size as u64;
+    let s = net.stats();
+    assert_eq!(
+        s.generated_packets * size,
+        s.delivered_phits + net.phits_in_system(),
+        "phit conservation violated for {}",
+        net.policy().name()
+    );
+    net.check_credit_conservation();
+}
+
+#[test]
+fn conservation_holds_for_every_mechanism_under_uniform_load() {
+    for kind in MechanismKind::paper_set() {
+        let net = drive(kind, TrafficSpec::uniform(), RingMode::None, 0.3, 2_000, 1);
+        assert_conservation(&net);
+        assert!(net.stats().delivered_packets > 0, "{kind} made no progress");
+    }
+}
+
+#[test]
+fn conservation_holds_under_adversarial_saturation() {
+    for kind in MechanismKind::paper_set() {
+        let net = drive(kind, TrafficSpec::adversarial(2), RingMode::None, 0.8, 2_500, 2);
+        assert_conservation(&net);
+    }
+}
+
+#[test]
+fn conservation_holds_with_physical_ring() {
+    for kind in [MechanismKind::Ofar, MechanismKind::OfarL] {
+        let net = drive(
+            kind,
+            TrafficSpec::adversarial(2),
+            RingMode::Physical,
+            0.6,
+            2_500,
+            3,
+        );
+        assert_conservation(&net);
+    }
+}
+
+#[test]
+fn conservation_holds_with_reduced_vcs() {
+    // The Fig. 9 configuration exercises the escape ring hard.
+    let cfg = SimConfig::reduced_vcs(2).with_seed(9);
+    let kind = MechanismKind::Ofar;
+    let mut net = Network::new(cfg, kind.build(&cfg, 9));
+    let topo = Dragonfly::new(cfg.params);
+    let mut gen = TrafficGen::new(&topo, TrafficSpec::adversarial(2), 10);
+    let mut bern = Bernoulli::new(0.7, cfg.packet_size, 11);
+    let nodes = net.num_nodes();
+    for _ in 0..3_000 {
+        bern.cycle(nodes, |src| {
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        });
+        net.step();
+    }
+    let size = net.cfg().packet_size as u64;
+    assert_eq!(
+        net.stats().generated_packets * size,
+        net.stats().delivered_phits + net.phits_in_system()
+    );
+    net.check_credit_conservation();
+}
+
+#[test]
+fn conservation_holds_for_mixes_and_par() {
+    let net = drive(MechanismKind::Par, TrafficSpec::mix3(2), RingMode::None, 0.5, 2_000, 4);
+    assert_conservation(&net);
+    let net = drive(MechanismKind::Ofar, TrafficSpec::mix1(2), RingMode::None, 0.5, 2_000, 5);
+    assert_conservation(&net);
+}
+
+#[test]
+fn draining_returns_every_packet() {
+    for kind in MechanismKind::paper_set() {
+        let mut net = drive(kind, TrafficSpec::uniform(), RingMode::None, 0.2, 800, 6);
+        let generated = net.stats().generated_packets;
+        let mut guard = 0;
+        while !net.drained() {
+            net.step();
+            guard += 1;
+            assert!(guard < 100_000, "{kind} failed to drain");
+        }
+        assert_eq!(net.stats().delivered_packets, generated);
+        assert_eq!(net.phits_in_system(), 0);
+        net.check_credit_conservation();
+    }
+}

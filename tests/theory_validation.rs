@@ -1,0 +1,145 @@
+//! Quantitative cross-checks between simulation and the closed-form
+//! bounds of §III, at a scale small enough for debug-mode CI (h = 2:
+//! 9 groups, 72 nodes).
+
+use ofar::prelude::*;
+use ofar::theory;
+
+fn quick() -> SteadyOpts {
+    SteadyOpts {
+        warmup: 2_000,
+        measure: 3_000,
+    }
+}
+
+#[test]
+fn min_under_adversarial_hits_the_single_channel_bound() {
+    let cfg = SimConfig::paper(2);
+    let p = steady_state(
+        cfg,
+        MechanismKind::Min,
+        &TrafficSpec::adversarial(2),
+        0.8,
+        quick(),
+        1,
+    );
+    let bound = theory::min_adversarial_bound(&cfg.params); // 1/8
+    assert!(
+        p.throughput <= bound * 1.1,
+        "MIN ADV throughput {} must respect the 1/(2h²) = {bound} wall",
+        p.throughput
+    );
+    assert!(
+        p.throughput >= bound * 0.7,
+        "MIN ADV throughput {} suspiciously below the wall {bound}",
+        p.throughput
+    );
+}
+
+#[test]
+fn valiant_under_uniform_respects_the_half_bound() {
+    let cfg = SimConfig::paper(2);
+    let p = steady_state(
+        cfg,
+        MechanismKind::Valiant,
+        &TrafficSpec::uniform(),
+        0.9,
+        quick(),
+        2,
+    );
+    assert!(
+        p.throughput <= theory::valiant_global_bound() + 0.02,
+        "VAL UN throughput {} above the ½ global bound",
+        p.throughput
+    );
+    assert!(p.throughput > 0.25, "VAL UN throughput {} too low", p.throughput);
+}
+
+#[test]
+fn min_under_uniform_beats_valiant() {
+    let cfg = SimConfig::paper(2);
+    let m = steady_state(cfg, MechanismKind::Min, &TrafficSpec::uniform(), 0.85, quick(), 3);
+    let v = steady_state(
+        cfg,
+        MechanismKind::Valiant,
+        &TrafficSpec::uniform(),
+        0.85,
+        quick(),
+        3,
+    );
+    assert!(
+        m.throughput > v.throughput,
+        "MIN ({}) must beat VAL ({}) under uniform traffic",
+        m.throughput,
+        v.throughput
+    );
+}
+
+#[test]
+fn adaptive_mechanisms_beat_min_under_adversarial() {
+    let cfg = SimConfig::paper(2);
+    let spec = TrafficSpec::adversarial(2);
+    let m = steady_state(cfg, MechanismKind::Min, &spec, 0.4, quick(), 4);
+    for kind in [MechanismKind::Pb, MechanismKind::Ofar, MechanismKind::OfarL] {
+        let a = steady_state(cfg, kind, &spec, 0.4, quick(), 4);
+        assert!(
+            a.throughput > 1.5 * m.throughput,
+            "{kind} ({}) must clearly beat MIN ({}) under ADV",
+            a.throughput,
+            m.throughput
+        );
+    }
+}
+
+#[test]
+fn ofar_matches_offered_load_below_saturation() {
+    let cfg = SimConfig::paper(2);
+    for load in [0.1, 0.2, 0.3] {
+        let p = steady_state(
+            cfg,
+            MechanismKind::Ofar,
+            &TrafficSpec::adversarial(2),
+            load,
+            quick(),
+            5,
+        );
+        assert!(
+            (p.throughput - load).abs() < 0.02,
+            "OFAR below saturation must accept offered {load}, got {}",
+            p.throughput
+        );
+    }
+}
+
+#[test]
+fn analytic_estimate_tracks_simulated_fig2b_ordering() {
+    // The simulated VAL saturation throughput ordering across offsets
+    // must match the analytic l2-concentration estimate: ADV+1 easy,
+    // ADV+h hard.
+    let cfg = SimConfig::paper(2);
+    let easy = steady_state(
+        cfg,
+        MechanismKind::Valiant,
+        &TrafficSpec::adversarial(1),
+        1.0,
+        quick(),
+        6,
+    );
+    let hard = steady_state(
+        cfg,
+        MechanismKind::Valiant,
+        &TrafficSpec::adversarial(2),
+        1.0,
+        quick(),
+        6,
+    );
+    let e_easy = theory::valiant_adv_estimate(&cfg.params, 1);
+    let e_hard = theory::valiant_adv_estimate(&cfg.params, 2);
+    assert!(e_hard <= e_easy);
+    assert!(
+        hard.throughput <= easy.throughput * 1.05,
+        "ADV+h ({}) cannot beat ADV+1 ({}) under VAL",
+        hard.throughput,
+        easy.throughput
+    );
+}
