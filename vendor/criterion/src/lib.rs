@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Enough of the API to compile and run this workspace's benches: each
+//! `bench_function` runs its routine a handful of times and prints the
+//! mean wall-clock time. No statistics, no HTML reports, no comparisons —
+//! the figure binaries under `src/bin` are the real data generators; the
+//! benches only need to execute.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark; a stand-in for criterion's sampling.
+const RUNS: u32 = 3;
+
+/// Prevent the optimiser from deleting a value (forwards to `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.elapsed / b.iters;
+        eprintln!("  {id}: {mean:?}/iter over {} iters", b.iters);
+    } else {
+        eprintln!("  {id}: no iterations recorded");
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a few runs.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over freshly set-up inputs.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..RUNS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("probe", |b| b.iter(|| count += 1));
+        assert_eq!(count, RUNS);
+    }
+
+    #[test]
+    fn groups_accept_annotations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(5));
+        let mut ran = false;
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.bench_function("flag", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,55 @@
+//! Concrete generators: `SmallRng` and `StdRng` are both xoshiro256**
+//! here (the workspace only needs speed and determinism, not a CSPRNG).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// xoshiro256** — small, fast, and plenty for simulation workloads.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // An all-zero state is the one invalid seed for xoshiro.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::from_u64(seed)
+    }
+}
+
+/// The non-cryptographic small generator (same role as rand's `SmallRng`).
+pub type SmallRng = Xoshiro256;
+
+/// The "standard" generator; aliased to the same engine in this stub.
+pub type StdRng = Xoshiro256;

@@ -1,0 +1,183 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice `par_iter()` → (`enumerate`) → `map` → `collect`
+//! pipeline this workspace uses, executing on `std::thread::scope` with a
+//! shared atomic work counter. Results are returned in input order, so
+//! behaviour is indistinguishable from the real crate for pure maps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on `&[T]` / `&Vec<T>`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by the iterator.
+    type Item: 'data;
+
+    /// A parallel iterator over the collection.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParEnumerate<'data, T> {
+        ParEnumerate { slice: self.slice }
+    }
+
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { slice: self.slice, f }
+    }
+}
+
+/// Enumerated parallel iterator.
+pub struct ParEnumerate<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParEnumerate<'data, T> {
+    /// Map each `(index, &element)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumMap<'data, T, F>
+    where
+        F: Fn((usize, &'data T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumMap { slice: self.slice, f }
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Run the map on a thread pool and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        par_map_indexed(self.slice.len(), move |i| f(&self.slice[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Mapped, enumerated parallel iterator.
+pub struct ParEnumMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParEnumMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'data T)) -> R + Sync,
+{
+    /// Run the map on a thread pool and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        par_map_indexed(self.slice.len(), move |i| f((i, &self.slice[i])))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Evaluate `job(0..n)` across scoped worker threads, preserving order.
+fn par_map_indexed<R, F>(n: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return produced;
+                        }
+                        produced.push((i, job(i)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("rayon-stub worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("uncomputed slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_matches_sequential() {
+        let xs = vec!["a", "bb", "ccc"];
+        let got: Vec<usize> = xs.par_iter().enumerate().map(|(i, s)| i + s.len()).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u8> = Vec::new();
+        let got: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(got.is_empty());
+    }
+}
