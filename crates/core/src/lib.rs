@@ -24,15 +24,17 @@
 //! ```
 
 pub mod experiments;
+pub mod faults;
 pub mod run;
 pub mod table;
 pub mod theory;
 
 pub use experiments::Scale;
+pub use faults::{degradation, degradation_sweep, DegradationPoint};
 pub use run::{
-    burst, burst_comparison, load_sweep, saturation_throughput, steady_state, steady_state_tuned,
-    transient,
-    BurstResult, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+    burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep, saturation_throughput,
+    steady_state, steady_state_tuned, transient,
+    BurstResult, RunConfig, StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
 };
 pub use table::Table;
 
@@ -45,14 +47,18 @@ pub use ofar_traffic as traffic;
 /// Everything needed for typical experiments.
 pub mod prelude {
     pub use crate::experiments::{self, Scale};
+    pub use crate::faults::{degradation, degradation_sweep, DegradationPoint};
     pub use crate::run::{
-        burst, burst_comparison, load_sweep, saturation_throughput, steady_state, steady_state_tuned,
-    transient,
-        BurstResult, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+        burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep,
+        saturation_throughput, steady_state, steady_state_tuned, transient,
+        BurstResult, RunConfig, StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
     };
     pub use crate::table::Table;
     pub use crate::theory;
-    pub use ofar_engine::{Network, Policy, RingMode, SimConfig, Stats, StatsWindow};
+    pub use ofar_engine::{
+        random_global_links, FaultKind, FaultPlan, Network, Policy, RingMode, SimConfig, Stats,
+        StatsWindow,
+    };
     pub use ofar_routing::{
         Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy, PbConfig,
     };

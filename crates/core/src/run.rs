@@ -1,8 +1,9 @@
 //! Experiment runners: steady state, load sweeps, transients and bursts
 //! (§VI of the paper).
 
-use ofar_engine::{Network, SimConfig, StatsWindow};
+use ofar_engine::{FaultPlan, Network, Policy, SimConfig, StatsWindow};
 use ofar_routing::MechanismKind;
+use ofar_topology::{NodeId, RouterId};
 use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
 use rayon::prelude::*;
 
@@ -268,11 +269,71 @@ pub fn transient(
 // Bursts (Fig. 7)
 // ---------------------------------------------------------------------
 
+/// Why a run's progress watchdog fired.
+///
+/// The watchdog distinguishes three failure modes instead of silently
+/// returning "no progress": a *partition* (failures disconnected some
+/// source–destination pairs — no routing mechanism can finish), a
+/// *deadlock* (buffered packets but no allocator grant anywhere for a
+/// whole window) and a *livelock* (grants keep happening — packets move —
+/// but none has been delivered for several windows).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// Link/router failures disconnected the listed in-flight
+    /// source–destination pairs; the run can never drain.
+    Partition {
+        /// Undeliverable `(src, dst)` pairs still in flight.
+        unreachable_pairs: Vec<(NodeId, NodeId)>,
+    },
+    /// No router granted any output for a whole watchdog window while
+    /// packets remain buffered.
+    Deadlock {
+        /// Routers holding phits that have not granted for a window.
+        stalled_routers: Vec<RouterId>,
+    },
+    /// Outputs keep being granted but no packet has been delivered for
+    /// several watchdog windows (packets circulate without ejecting).
+    Livelock {
+        /// Routers holding phits that have not granted for a window.
+        stalled_routers: Vec<RouterId>,
+    },
+}
+
+/// Knobs of the burst runner that are about the *runner*, not the
+/// simulated hardware.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunConfig {
+    /// Progress-watchdog window in cycles. `None` derives it from the
+    /// configuration via [`derive_watchdog`].
+    pub watchdog: Option<u64>,
+}
+
+/// Watchdog window scaled to the configuration instead of the former
+/// hard-coded `20_000 + 50·lat_global`.
+///
+/// A packet that is maximally unlucky serializes behind a full buffer on
+/// every hop (`packet_size · a` phit times per group), pays the global
+/// latency twice (Valiant/misroute), detours over dead local links, and
+/// may sit out OFAR's ring patience (100 cycles) plus a full escape-ring
+/// lap before each of its ring exits. Sixteen such epochs with a fixed
+/// floor is comfortably past any transient burst congestion while still
+/// firing in well under a second of wall time on a stalled network.
+pub fn derive_watchdog(cfg: &SimConfig) -> u64 {
+    // One worst-case "epoch": two global legs, a handful of local legs
+    // (minimal + clique detours), full-buffer serialization across the
+    // group, and ring patience + a ring lap of slack.
+    let a = cfg.params.a as u64;
+    let serialization = (cfg.packet_size as u64) * a * 4;
+    let ring_slack = 400;
+    let epoch = 2 * cfg.lat_global + 6 * cfg.lat_local + serialization + ring_slack;
+    2_000 + 16 * epoch
+}
+
 /// Result of a burst-consumption run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BurstResult {
     /// Cycles until every packet was delivered (`None` if the watchdog
-    /// declared no progress — a deadlock or livelock).
+    /// fired — see [`BurstResult::stall`] for the diagnosis).
     pub cycles: Option<u64>,
     /// Packets delivered.
     pub delivered: u64,
@@ -280,6 +341,8 @@ pub struct BurstResult {
     pub avg_latency: f64,
     /// Escape-ring entries over the whole burst.
     pub ring_entries: u64,
+    /// Why the watchdog fired (`None` when the burst drained).
+    pub stall: Option<StallKind>,
 }
 
 /// Burst experiment (§VI-C): every node enqueues `packets_per_node`
@@ -292,28 +355,66 @@ pub fn burst(
     packets_per_node: usize,
     seed: u64,
 ) -> BurstResult {
+    burst_faulted(
+        cfg,
+        kind,
+        spec,
+        packets_per_node,
+        seed,
+        FaultPlan::default(),
+        RunConfig::default(),
+    )
+}
+
+/// [`burst`] under a scheduled [`FaultPlan`] (§VII degraded operation).
+/// Plan events fire at their scheduled cycles while the burst drains;
+/// if the surviving topology cannot deliver every packet the watchdog
+/// reports a structured [`StallKind`] instead of hanging.
+pub fn burst_faulted(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    packets_per_node: usize,
+    seed: u64,
+    plan: FaultPlan,
+    run: RunConfig,
+) -> BurstResult {
     let cfg = kind.adapt_config(cfg);
     let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    net.set_fault_plan(plan);
     let topo = *net.fabric().topo();
     let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
     let nodes = net.num_nodes();
     for _ in 0..packets_per_node {
         for n in 0..nodes {
-            let src = ofar_topology::NodeId::from(n);
+            let src = NodeId::from(n);
             let dst = gen.destination(src);
             net.generate(src, dst);
         }
     }
-    // Progress watchdog: several times the worst-case path latency.
-    let watchdog = 20_000 + 50 * cfg.lat_global;
+    let watchdog = run.watchdog.unwrap_or_else(|| derive_watchdog(&cfg));
+    let mut last_delivered = 0u64;
+    let mut last_delivery_at = 0u64;
     while !net.drained() {
         net.step();
-        if net.now() - net.stats().last_grant > watchdog {
+        let delivered = net.stats().delivered_packets;
+        if delivered > last_delivered {
+            last_delivered = delivered;
+            last_delivery_at = net.now();
+        }
+        // Two triggers: a dead network (no grants at all), or a busy one
+        // that stopped delivering — livelock takes longer to call because
+        // packets legitimately circulate under heavy misrouting.
+        let no_grant = net.now() - net.stats().last_grant > watchdog;
+        let no_delivery = net.now() - last_delivery_at > 4 * watchdog;
+        if no_grant || no_delivery {
+            let stall = diagnose_stall(&net, watchdog, no_grant);
             return BurstResult {
                 cycles: None,
-                delivered: net.stats().delivered_packets,
+                delivered,
                 avg_latency: net.stats().avg_latency(),
                 ring_entries: net.stats().ring_entries,
+                stall: Some(stall),
             };
         }
     }
@@ -322,6 +423,24 @@ pub fn burst(
         delivered: net.stats().delivered_packets,
         avg_latency: net.stats().avg_latency(),
         ring_entries: net.stats().ring_entries,
+        stall: None,
+    }
+}
+
+/// Classify a fired watchdog. Partition wins (it explains the others and
+/// is definitive — connectivity is a property of the topology, not of
+/// the schedule); otherwise a silent allocator means deadlock and a busy
+/// one livelock.
+fn diagnose_stall<P: Policy>(net: &Network<P>, watchdog: u64, no_grant: bool) -> StallKind {
+    let unreachable_pairs = net.unreachable_pairs();
+    if !unreachable_pairs.is_empty() {
+        return StallKind::Partition { unreachable_pairs };
+    }
+    let stalled_routers = net.stalled_routers(watchdog);
+    if no_grant {
+        StallKind::Deadlock { stalled_routers }
+    } else {
+        StallKind::Livelock { stalled_routers }
     }
 }
 

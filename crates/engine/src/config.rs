@@ -7,6 +7,98 @@
 //! allocator with three iterations.
 
 use ofar_topology::DragonflyParams;
+use std::fmt;
+
+/// A violated configuration invariant, reported by
+/// [`SimConfig::validate`]. Each variant carries enough context to print
+/// an actionable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `packet_size == 0`.
+    ZeroPacketSize,
+    /// A canonical buffer cannot hold one whole packet (VCT requirement).
+    BufferTooSmall {
+        /// Which buffer (`buf_local`, `buf_global`, `buf_injection`).
+        name: &'static str,
+        /// Configured capacity in phits.
+        cap: usize,
+        /// Packet size in phits.
+        packet: usize,
+    },
+    /// The ring buffer cannot hold two packets (bubble condition, §IV-C).
+    RingBufferNoBubble {
+        /// Configured `buf_ring` capacity in phits.
+        cap: usize,
+    },
+    /// Some link class has zero virtual channels.
+    NoVcs,
+    /// The allocator was configured with zero iterations.
+    ZeroAllocIters,
+    /// `h < 2`: the Dragonfly degenerates (no meaningful global
+    /// diversity, and the §VII multi-ring story needs `h ≥ 2`).
+    RadixTooSmall {
+        /// Configured `h`.
+        h: usize,
+    },
+    /// An escape subnetwork was requested with zero rings.
+    NoEscapeRing,
+    /// More escape rings than the `h` edge-disjoint ones that exist.
+    TooManyRings {
+        /// Requested ring count.
+        requested: usize,
+        /// Configured `h` (the maximum).
+        h: usize,
+    },
+    /// Multiple embedded rings need an even group size `a` (the Walecki
+    /// decomposition used for rings beyond the first requires it).
+    OddGroupMultiRing {
+        /// Configured group size.
+        a: usize,
+    },
+    /// An embedded escape ring needs at least two local VCs under the
+    /// deadlock-avoidance ladder.
+    EmbeddedRingTooFewVcs {
+        /// Configured `vcs_local`.
+        vcs_local: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::ZeroPacketSize => write!(f, "packet_size must be positive"),
+            Self::BufferTooSmall { name, cap, packet } => write!(
+                f,
+                "{name} ({cap} phits) cannot hold one {packet}-phit packet \
+                 (VCT needs whole-packet buffers)"
+            ),
+            Self::RingBufferNoBubble { cap } => write!(
+                f,
+                "buf_ring ({cap} phits) must hold two packets for the bubble condition"
+            ),
+            Self::NoVcs => write!(f, "every link class needs at least one VC"),
+            Self::ZeroAllocIters => write!(f, "allocator needs at least one iteration"),
+            Self::RadixTooSmall { h } => {
+                write!(f, "h = {h} is below the minimum of 2 (degenerate Dragonfly)")
+            }
+            Self::NoEscapeRing => write!(f, "an escape subnetwork needs at least one ring"),
+            Self::TooManyRings { requested, h } => write!(
+                f,
+                "at most h = {h} edge-disjoint escape rings exist (requested {requested})"
+            ),
+            Self::OddGroupMultiRing { a } => write!(
+                f,
+                "multiple embedded rings need an even group size (a = {a} is odd)"
+            ),
+            Self::EmbeddedRingTooFewVcs { vcs_local } => write!(
+                f,
+                "an embedded escape ring needs vcs_local >= 2 (got {vcs_local})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How the escape subnetwork is realized (§IV-C, §VII).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -124,11 +216,14 @@ impl SimConfig {
     /// Validate invariants the engine depends on.
     ///
     /// # Errors
-    /// Returns a human-readable description of the first violated
-    /// constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`]
+    /// (its `Display` impl yields a human-readable description).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.packet_size == 0 {
-            return Err("packet_size must be positive".into());
+            return Err(ConfigError::ZeroPacketSize);
+        }
+        if self.params.h < 2 {
+            return Err(ConfigError::RadixTooSmall { h: self.params.h });
         }
         for (name, cap) in [
             ("buf_local", self.buf_local),
@@ -136,36 +231,42 @@ impl SimConfig {
             ("buf_injection", self.buf_injection),
         ] {
             if cap < self.packet_size {
-                return Err(format!(
-                    "{name} ({cap} phits) cannot hold one {}-phit packet (VCT needs whole-packet buffers)",
-                    self.packet_size
-                ));
+                return Err(ConfigError::BufferTooSmall {
+                    name,
+                    cap,
+                    packet: self.packet_size,
+                });
             }
         }
         if self.ring != RingMode::None && self.buf_ring < 2 * self.packet_size {
-            return Err(format!(
-                "buf_ring ({} phits) must hold two packets for the bubble condition",
-                self.buf_ring
-            ));
+            return Err(ConfigError::RingBufferNoBubble { cap: self.buf_ring });
         }
         if self.vcs_local == 0 || self.vcs_global == 0 || self.vcs_injection == 0 {
-            return Err("every link class needs at least one VC".into());
+            return Err(ConfigError::NoVcs);
         }
         if self.ring == RingMode::Physical && self.vcs_ring == 0 {
-            return Err("physical ring needs at least one VC".into());
+            return Err(ConfigError::NoVcs);
         }
         if self.alloc_iters == 0 {
-            return Err("allocator needs at least one iteration".into());
+            return Err(ConfigError::ZeroAllocIters);
         }
         if self.ring != RingMode::None {
             if self.escape_rings == 0 {
-                return Err("an escape subnetwork needs at least one ring".into());
+                return Err(ConfigError::NoEscapeRing);
             }
             if self.escape_rings > self.params.h {
-                return Err(format!(
-                    "at most h = {} edge-disjoint escape rings exist (requested {})",
-                    self.params.h, self.escape_rings
-                ));
+                return Err(ConfigError::TooManyRings {
+                    requested: self.escape_rings,
+                    h: self.params.h,
+                });
+            }
+            if self.escape_rings > 1 && self.params.a % 2 == 1 {
+                return Err(ConfigError::OddGroupMultiRing { a: self.params.a });
+            }
+            if self.ring == RingMode::Embedded && self.vcs_local < 2 {
+                return Err(ConfigError::EmbeddedRingTooFewVcs {
+                    vcs_local: self.vcs_local,
+                });
             }
         }
         Ok(())
@@ -200,13 +301,45 @@ mod tests {
     fn validation_rejects_sub_packet_buffers() {
         let mut c = SimConfig::paper(2);
         c.buf_local = 4;
-        assert!(c.validate().unwrap_err().contains("buf_local"));
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::BufferTooSmall { name: "buf_local", cap: 4, packet: 8 });
+        assert!(err.to_string().contains("buf_local"));
     }
 
     #[test]
     fn validation_rejects_bubble_less_ring_buffers() {
         let mut c = SimConfig::paper(2).with_ring(RingMode::Embedded);
         c.buf_ring = 8;
-        assert!(c.validate().unwrap_err().contains("bubble"));
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::RingBufferNoBubble { cap: 8 });
+        assert!(err.to_string().contains("bubble"));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_radix() {
+        let mut c = SimConfig::paper(2);
+        c.params = DragonflyParams::balanced(1);
+        assert_eq!(c.validate().unwrap_err(), ConfigError::RadixTooSmall { h: 1 });
+    }
+
+    #[test]
+    fn validation_rejects_zero_vcs_and_ring_excess() {
+        let mut c = SimConfig::paper(2);
+        c.vcs_global = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::NoVcs);
+
+        let mut c = SimConfig::paper(2).with_ring(RingMode::Embedded);
+        c.escape_rings = 5;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::TooManyRings { requested: 5, h: 2 });
+    }
+
+    #[test]
+    fn validation_rejects_embedded_ring_with_single_local_vc() {
+        let mut c = SimConfig::paper(2).with_ring(RingMode::Embedded);
+        c.vcs_local = 1;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::EmbeddedRingTooFewVcs { vcs_local: 1 }
+        );
     }
 }

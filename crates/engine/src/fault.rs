@@ -1,0 +1,368 @@
+//! Live fault injection: scheduled and runtime fail-stop failures of
+//! links and routers, plus the derived per-port / per-ring liveness the
+//! rest of the engine consults.
+//!
+//! Semantics (the paper's §VII fail-stop model, at packet granularity):
+//!
+//! * Failing the link between routers `a` and `b` kills **every** port
+//!   pair between them, both directions — the canonical local/global
+//!   link and any dedicated physical-ring wire riding the same cable.
+//! * Failing a router kills all of its incident links. Its nodes keep
+//!   their injection queues (traffic sourced there simply cannot leave),
+//!   and ejection ports never fail.
+//! * In-flight phits and credits on a failing link are *not* dropped:
+//!   transfers already started complete (fail-stop at packet
+//!   granularity), the allocator just never grants a dead output again.
+//!   This keeps phit/credit conservation intact across failures.
+//! * An escape ring survives iff every edge and every router along it is
+//!   alive; packets never *enter* a dead ring, and packets caught on one
+//!   exit through any live canonical port (see the routing crate).
+
+use crate::fabric::{Fabric, PortKind};
+use ofar_topology::{Dragonfly, HamiltonianRing, RouterId};
+use std::collections::HashSet;
+
+/// One kind of fault transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the full-duplex link(s) between two adjacent routers.
+    FailLink(RouterId, RouterId),
+    /// Restore a previously failed link.
+    RestoreLink(RouterId, RouterId),
+    /// Fail a router (all incident links).
+    FailRouter(RouterId),
+    /// Restore a previously failed router.
+    RestoreRouter(RouterId),
+}
+
+/// A scheduled fault transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the transition takes effect (applied at the top of
+    /// `Network::step` for that cycle).
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault transitions, consumed in time order
+/// by `Network::step`. Build one up-front (seeded), hand it to
+/// `Network::set_fault_plan`, and identical seeds reproduce identical
+/// degraded runs.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a link failure at cycle `at`.
+    pub fn fail_link_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::FailLink(a, b) });
+        self
+    }
+
+    /// Schedule a link restoration at cycle `at`.
+    pub fn restore_link_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::RestoreLink(a, b) });
+        self
+    }
+
+    /// Schedule a router failure at cycle `at`.
+    pub fn fail_router_at(mut self, at: u64, r: RouterId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::FailRouter(r) });
+        self
+    }
+
+    /// Schedule a router restoration at cycle `at`.
+    pub fn restore_router_at(mut self, at: u64, r: RouterId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::RestoreRouter(r) });
+        self
+    }
+
+    /// Schedule a transient link failure: down at `at`, back up at
+    /// `at + down_for`.
+    pub fn transient_link(self, at: u64, down_for: u64, a: RouterId, b: RouterId) -> Self {
+        self.fail_link_at(at, a, b).restore_link_at(at + down_for, a, b)
+    }
+
+    /// Schedule `n` distinct random global-link failures at cycle `at`,
+    /// chosen deterministically from `seed`.
+    pub fn random_global_failures(topo: &Dragonfly, n: usize, at: u64, seed: u64) -> Self {
+        let mut plan = Self::new();
+        for (a, b) in random_global_links(topo, n, seed) {
+            plan = plan.fail_link_at(at, a, b);
+        }
+        plan
+    }
+
+    fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+        // Keep time order; stable so same-cycle events apply in insertion
+        // order (deterministic).
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The scheduled events, in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Pick `n` distinct global links (endpoint pairs) uniformly at random
+/// from `seed`, deterministically. Panics if the topology has fewer than
+/// `n` global links.
+pub fn random_global_links(topo: &Dragonfly, n: usize, seed: u64) -> Vec<(RouterId, RouterId)> {
+    let all: Vec<(RouterId, RouterId)> = topo.global_links().map(|l| (l.src, l.dst)).collect();
+    assert!(n <= all.len(), "asked for {n} failures, only {} global links", all.len());
+    // Partial Fisher–Yates with an inline splitmix64 — the engine keeps
+    // no RNG dependency, and this must be reproducible from the seed
+    // alone.
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut pool = all;
+    let mut picked = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = (next() % pool.len() as u64) as usize;
+        picked.push(pool.swap_remove(i));
+    }
+    picked
+}
+
+/// Current liveness of every output port and escape ring, derived from
+/// the set of failed links/routers. Cheap to query per cycle; recomputed
+/// in full on each (rare) fault transition.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    /// `[router × n_out]` output-port liveness.
+    out_up: Vec<bool>,
+    /// Per-ring liveness.
+    ring_up: Vec<bool>,
+    /// Failed links, endpoints in canonical (sorted) order.
+    failed_links: HashSet<(RouterId, RouterId)>,
+    /// Failed routers.
+    failed_routers: HashSet<RouterId>,
+    n_out: usize,
+    /// Fast path: true when nothing has ever failed (or all is restored).
+    healthy: bool,
+}
+
+impl FaultState {
+    /// All-healthy state for a fabric.
+    pub fn new(fab: &Fabric) -> Self {
+        let nr = fab.topo().num_routers();
+        Self {
+            out_up: vec![true; nr * fab.n_out()],
+            ring_up: vec![true; fab.rings().len()],
+            failed_links: HashSet::new(),
+            failed_routers: HashSet::new(),
+            n_out: fab.n_out(),
+            healthy: true,
+        }
+    }
+
+    /// True if any fault is currently active. The zero-fault fast path —
+    /// routing and allocation skip all per-port checks when this is
+    /// false.
+    #[inline]
+    pub fn any(&self) -> bool {
+        !self.healthy
+    }
+
+    /// Liveness of output `port` of `router`.
+    #[inline]
+    pub fn link_up(&self, router: usize, port: usize) -> bool {
+        self.healthy || self.out_up[router * self.n_out + port]
+    }
+
+    /// Liveness of escape ring `j`.
+    #[inline]
+    pub fn ring_up(&self, j: usize) -> bool {
+        self.healthy || self.ring_up[j]
+    }
+
+    /// Liveness of the topology link between adjacent routers `a`/`b`.
+    pub fn topo_link_up(&self, a: RouterId, b: RouterId) -> bool {
+        self.router_up(a) && self.router_up(b) && !self.failed_links.contains(&canon(a, b))
+    }
+
+    /// Liveness of a router.
+    #[inline]
+    pub fn router_up(&self, r: RouterId) -> bool {
+        self.healthy || !self.failed_routers.contains(&r)
+    }
+
+    /// Currently failed links (canonical endpoint order, unsorted).
+    pub fn failed_links(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
+        self.failed_links.iter().copied()
+    }
+
+    /// Currently failed routers.
+    pub fn failed_routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.failed_routers.iter().copied()
+    }
+
+    /// Apply one fault transition. Returns true if the fault set changed
+    /// (a duplicate failure or redundant restore returns false).
+    pub fn apply(&mut self, kind: FaultKind, fab: &Fabric) -> bool {
+        let changed = match kind {
+            FaultKind::FailLink(a, b) => self.failed_links.insert(canon(a, b)),
+            FaultKind::RestoreLink(a, b) => self.failed_links.remove(&canon(a, b)),
+            FaultKind::FailRouter(r) => self.failed_routers.insert(r),
+            FaultKind::RestoreRouter(r) => self.failed_routers.remove(&r),
+        };
+        if changed {
+            self.recompute(fab);
+        }
+        changed
+    }
+
+    /// Rebuild the derived per-port and per-ring liveness from the fault
+    /// sets.
+    fn recompute(&mut self, fab: &Fabric) {
+        self.healthy = self.failed_links.is_empty() && self.failed_routers.is_empty();
+        let nr = fab.topo().num_routers();
+        for r in 0..nr {
+            let rid = RouterId::from(r);
+            for port in 0..self.n_out {
+                let link = fab.out_link(rid, port);
+                let up = match link.kind {
+                    // Ejection never fails; a dead router's nodes just
+                    // cannot inject (no grants at a dead router's
+                    // outputs would still allow ejection, but traffic
+                    // cannot reach it anyway).
+                    PortKind::Node => true,
+                    _ => self.topo_link_up(rid, RouterId::new(link.dst_router)),
+                };
+                self.out_up[r * self.n_out + port] = up;
+            }
+        }
+        let topo = fab.topo();
+        for (j, ring) in fab.rings().iter().enumerate() {
+            self.ring_up[j] = ring_alive(topo, ring, self);
+        }
+    }
+}
+
+fn ring_alive(topo: &Dragonfly, ring: &HamiltonianRing, faults: &FaultState) -> bool {
+    ring.edges().iter().all(|e| faults.topo_link_up(e.from(), e.to(topo)))
+}
+
+#[inline]
+fn canon(a: RouterId, b: RouterId) -> (RouterId, RouterId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn fab() -> Fabric {
+        Fabric::new(SimConfig::paper(2))
+    }
+
+    #[test]
+    fn healthy_state_reports_everything_up() {
+        let f = fab();
+        let s = FaultState::new(&f);
+        assert!(!s.any());
+        for port in 0..f.n_out() {
+            assert!(s.link_up(0, port));
+        }
+        assert!(s.ring_up(0));
+    }
+
+    #[test]
+    fn failing_a_link_kills_both_directions() {
+        let f = fab();
+        let mut s = FaultState::new(&f);
+        let topo = *f.topo();
+        let a = RouterId::new(0);
+        let b = topo.local_neighbor(a, 0);
+        assert!(s.apply(FaultKind::FailLink(a, b), &f));
+        assert!(s.any());
+        // The out port a→b is dead, and so is b→a.
+        let pa = f.local_out(0);
+        assert!(!s.link_up(a.idx(), pa));
+        let back = topo.local_port_to(b, a);
+        assert!(!s.link_up(b.idx(), f.local_out(back)));
+        // Duplicate failure is a no-op; restore brings it back.
+        assert!(!s.apply(FaultKind::FailLink(b, a), &f));
+        assert!(s.apply(FaultKind::RestoreLink(a, b), &f));
+        assert!(!s.any());
+        assert!(s.link_up(a.idx(), pa));
+    }
+
+    #[test]
+    fn router_failure_kills_incident_links_but_not_ejection() {
+        let f = fab();
+        let mut s = FaultState::new(&f);
+        let r = RouterId::new(1);
+        s.apply(FaultKind::FailRouter(r), &f);
+        for port in 0..f.n_out() {
+            let up = s.link_up(r.idx(), port);
+            match f.out_kind(port) {
+                PortKind::Node => assert!(up, "ejection must stay up"),
+                _ => assert!(!up, "port {port} must be dead"),
+            }
+        }
+        // Neighbours' links toward r are dead too.
+        let topo = *f.topo();
+        let n = topo.local_neighbor(r, 0);
+        let toward = f.local_out(topo.local_port_to(n, r));
+        assert!(!s.link_up(n.idx(), toward));
+    }
+
+    #[test]
+    fn ring_dies_when_an_edge_fails() {
+        let f = Fabric::new(SimConfig::paper(2).with_ring(crate::config::RingMode::Embedded));
+        let mut s = FaultState::new(&f);
+        let ring = f.ring().expect("paper config embeds a ring");
+        let e = ring.edges()[0];
+        s.apply(FaultKind::FailLink(e.from(), e.to(f.topo())), &f);
+        assert!(!s.ring_up(0));
+    }
+
+    #[test]
+    fn random_global_links_is_deterministic_and_distinct() {
+        let topo = Dragonfly::new(SimConfig::paper(2).params);
+        let a = random_global_links(&topo, 5, 42);
+        let b = random_global_links(&topo, 5, 42);
+        assert_eq!(a, b);
+        let mut set: Vec<_> = a.iter().map(|&(x, y)| canon(x, y)).collect();
+        set.sort();
+        set.dedup();
+        assert_eq!(set.len(), 5, "picks must be distinct");
+        let c = random_global_links(&topo, 5, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn plan_events_stay_time_ordered() {
+        let p = FaultPlan::new()
+            .fail_link_at(50, RouterId::new(0), RouterId::new(1))
+            .transient_link(10, 15, RouterId::new(2), RouterId::new(3));
+        let times: Vec<u64> = p.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![10, 25, 50]);
+    }
+}

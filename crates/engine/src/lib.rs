@@ -19,14 +19,16 @@
 pub mod buffer;
 pub mod config;
 pub mod fabric;
+pub mod fault;
 pub mod network;
 pub mod packet;
 pub mod policy;
 pub mod router;
 pub mod stats;
 
-pub use config::{RingMode, SimConfig};
+pub use config::{ConfigError, RingMode, SimConfig};
 pub use fabric::{EscapeOut, Fabric, InDesc, OutLink, PortKind};
+pub use fault::{random_global_links, FaultEvent, FaultKind, FaultPlan, FaultState};
 pub use network::Network;
 pub use packet::{
     Packet, Request, RequestKind, FLAG_AUX, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,

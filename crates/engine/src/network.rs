@@ -12,6 +12,7 @@
 
 use crate::config::SimConfig;
 use crate::fabric::{Fabric, PortKind};
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::packet::{
     Packet, Request, RequestKind, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED, FLAG_ON_RING,
 };
@@ -59,6 +60,16 @@ pub struct Network<P: Policy> {
     delivered_log: Option<Vec<(u64, u32)>>,
     /// Optional per-output-port phit counters (link utilization).
     link_phits: Option<Vec<u64>>,
+    /// Current liveness of links, routers and rings (§VII fault model).
+    faults: FaultState,
+    /// Scheduled fault transitions, consumed in time order by `step`.
+    plan: FaultPlan,
+    plan_cursor: usize,
+    /// Sticky: true once any fault transition has ever applied (some
+    /// path-length invariants only hold on never-faulted networks).
+    faults_ever: bool,
+    /// Cycle of the last grant at each router (stall diagnosis).
+    router_last_grant: Vec<u64>,
     // reusable scratch
     effects: Vec<Effect>,
     reqs: Vec<(u16, u8, Request)>,
@@ -100,6 +111,11 @@ impl<P: Policy> Network<P> {
             stats: Stats::default(),
             delivered_log: None,
             link_phits: None,
+            faults: FaultState::new(&fab),
+            plan: FaultPlan::new(),
+            plan_cursor: 0,
+            faults_ever: false,
+            router_last_grant: vec![0; nr],
             effects: Vec::with_capacity(256),
             reqs: Vec::with_capacity(n_in * 4),
             matched_in: vec![false; n_in],
@@ -196,6 +212,146 @@ impl<P: Policy> Network<P> {
             .unwrap_or(0)
     }
 
+    // ----- fault injection (§VII) ---------------------------------------
+
+    /// Install a deterministic fault schedule. Events are applied at the
+    /// top of the `step` for their cycle; events already in the past
+    /// apply on the next step. Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.plan_cursor = 0;
+    }
+
+    /// The current fault state (liveness of links, routers and rings).
+    #[inline]
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Fail the link(s) between two adjacent routers right now. Dead
+    /// outputs stop being granted immediately; phits already on the wire
+    /// land normally (fail-stop at packet granularity), so conservation
+    /// invariants keep holding. Returns false if already failed.
+    pub fn fail_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        self.apply_fault(FaultKind::FailLink(a, b))
+    }
+
+    /// Restore a previously failed link. Returns false if it was not
+    /// failed.
+    pub fn restore_link(&mut self, a: RouterId, b: RouterId) -> bool {
+        self.apply_fault(FaultKind::RestoreLink(a, b))
+    }
+
+    /// Fail a router (all incident links) right now.
+    pub fn fail_router(&mut self, r: RouterId) -> bool {
+        self.apply_fault(FaultKind::FailRouter(r))
+    }
+
+    /// Restore a previously failed router.
+    pub fn restore_router(&mut self, r: RouterId) -> bool {
+        self.apply_fault(FaultKind::RestoreRouter(r))
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) -> bool {
+        let changed = self.faults.apply(kind, &self.fab);
+        if changed {
+            self.faults_ever = true;
+            match kind {
+                FaultKind::FailLink(..) => self.stats.link_failures += 1,
+                FaultKind::RestoreLink(..) => self.stats.link_repairs += 1,
+                FaultKind::FailRouter(..) => self.stats.router_failures += 1,
+                FaultKind::RestoreRouter(..) => {}
+            }
+        }
+        changed
+    }
+
+    /// Routers holding buffered packets that have not granted anything
+    /// for at least `window` cycles — the candidates a stall diagnosis
+    /// reports.
+    pub fn stalled_routers(&self, window: u64) -> Vec<RouterId> {
+        let horizon = self.now.saturating_sub(window);
+        self.routers
+            .iter()
+            .enumerate()
+            .filter(|(r, store)| {
+                store.buffered_phits() > 0 && self.router_last_grant[*r] < horizon
+            })
+            .map(|(r, _)| RouterId::from(r))
+            .collect()
+    }
+
+    /// Source/destination node pairs of undelivered packets whose
+    /// destination router is unreachable from the packet's current
+    /// position over the surviving links — the *partition* diagnosis.
+    /// Empty on a connected network. Pairs are deduplicated and sorted.
+    pub fn unreachable_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let comp = self.router_components();
+        let topo = self.fab.topo();
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut check = |at: RouterId, pkt: &Packet| {
+            if comp[at.idx()] != comp[topo.router_of_node(pkt.dst).idx()] {
+                pairs.push((pkt.src, pkt.dst));
+            }
+        };
+        for (node, q) in self.src_q.iter().enumerate() {
+            let at = topo.router_of_node(NodeId::from(node));
+            for pkt in q {
+                check(at, pkt);
+            }
+        }
+        for (ridx, store) in self.routers.iter().enumerate() {
+            let at = RouterId::from(ridx);
+            for input in &store.inputs {
+                for fifo in &input.vcs {
+                    for pkt in fifo.iter() {
+                        check(at, pkt);
+                    }
+                }
+                // In-flight packets land at this router regardless of
+                // faults, so they are judged from here.
+                for (_, _, pkt) in &input.arrivals {
+                    check(at, pkt);
+                }
+            }
+        }
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Connected components of the router graph over surviving links.
+    fn router_components(&self) -> Vec<u32> {
+        let topo = self.fab.topo();
+        let nr = self.routers.len();
+        let (a, h) = (self.fab.cfg().params.a, self.fab.cfg().params.h);
+        let mut comp = vec![u32::MAX; nr];
+        let mut stack = Vec::new();
+        let mut next = 0u32;
+        for start in 0..nr {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(RouterId::from(start));
+            while let Some(r) = stack.pop() {
+                for j in 0..a - 1 + h {
+                    let n = if j < a - 1 {
+                        topo.local_neighbor(r, j)
+                    } else {
+                        topo.global_neighbor(r, j - (a - 1)).0
+                    };
+                    if comp[n.idx()] == u32::MAX && self.faults.topo_link_up(r, n) {
+                        comp[n.idx()] = next;
+                        stack.push(n);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
     // ----- traffic entry ------------------------------------------------
 
     /// Generate a packet at `src` destined to `dst`, stamped with the
@@ -225,12 +381,22 @@ impl<P: Policy> Network<P> {
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        // Apply scheduled fault transitions due at (or before) this
+        // cycle, in plan order — before arrivals so the cycle already
+        // sees the new liveness.
+        while self.plan_cursor < self.plan.events().len()
+            && self.plan.events()[self.plan_cursor].at <= now
+        {
+            let kind = self.plan.events()[self.plan_cursor].kind;
+            self.plan_cursor += 1;
+            self.apply_fault(kind);
+        }
         self.deliver_events(now);
         self.inject(now);
         for r in 0..self.routers.len() {
             self.route_and_allocate(r, now);
         }
-        let snap = NetSnapshot::new(&self.fab, now, &self.routers);
+        let snap = NetSnapshot::new(&self.fab, now, &self.routers, &self.faults);
         self.policy.end_cycle(&snap);
         self.now = now + 1;
     }
@@ -294,7 +460,7 @@ impl<P: Policy> Network<P> {
             let router = RouterId::from(node / p);
             let port = self.fab.inj_in(node % p);
             let store = &mut self.routers[router.idx()];
-            let view = RouterView::new(&self.fab, router, now, &store.outputs);
+            let view = RouterView::new(&self.fab, router, now, &store.outputs, &self.faults);
             let pkt = self.src_q[node].front_mut().unwrap();
             let vc = self.policy.on_inject(&view, pkt);
             debug_assert!(vc < store.inputs[port].vcs.len());
@@ -318,7 +484,7 @@ impl<P: Policy> Network<P> {
         {
             let store = &mut self.routers[ridx];
             let (inputs, outputs) = (&mut store.inputs, &store.outputs);
-            let view = RouterView::new(&self.fab, router, now, outputs);
+            let view = RouterView::new(&self.fab, router, now, outputs, &self.faults);
             for (port, input) in inputs.iter_mut().enumerate() {
                 if input.busy_until > now {
                     continue; // crossbar input still streaming a packet
@@ -339,7 +505,12 @@ impl<P: Policy> Network<P> {
                         is_escape_vc: desc.kind == PortKind::Ring || vc >= base_vcs,
                     };
                     if let Some(req) = self.policy.route(&view, ctx, pkt) {
-                        self.reqs.push((port as u16, vc as u8, req));
+                        // A dead output is never allocated, whatever the
+                        // policy asked for (defence in depth — fault-
+                        // aware policies already avoid dead ports).
+                        if view.link_up(req.out_port as usize) {
+                            self.reqs.push((port as u16, vc as u8, req));
+                        }
                     }
                 }
             }
@@ -472,6 +643,7 @@ impl<P: Policy> Network<P> {
         out.in_served_at[in_port] = now + 1;
         out.busy_until = now + u64::from(size);
         self.stats.last_grant = now;
+        self.router_last_grant[ridx] = now;
         if let Some(util) = self.link_phits.as_mut() {
             util[ridx * self.fab.n_out() + req.out_port as usize] += u64::from(size);
         }
@@ -510,9 +682,12 @@ impl<P: Policy> Network<P> {
                 self.stats.ring_advances += 1;
             }
             RequestKind::RingExit => {
-                debug_assert!(was_on_ring && pkt.ring_exits_left > 0);
+                // `ring_exits_left` may already be 0 for an *emergency*
+                // exit from a ring that died under the packet (§VII);
+                // normal exits are budgeted by the policy.
+                debug_assert!(was_on_ring);
                 pkt.clear(FLAG_ON_RING);
-                pkt.ring_exits_left -= 1;
+                pkt.ring_exits_left = pkt.ring_exits_left.saturating_sub(1);
                 self.stats.ring_exits += 1;
             }
         }
@@ -529,9 +704,13 @@ impl<P: Policy> Network<P> {
                 // §IV-A path-length ceiling: without escape-ring travel,
                 // no mechanism exceeds 6 local + 2 global hops. (Each
                 // ring exit restarts a minimal segment, so ring users
-                // are exempt.)
+                // are exempt, and so is any network that has seen a
+                // fault — routing around failures legally exceeds the
+                // ceiling.)
                 debug_assert!(
-                    pkt.ring_hops > 0 || (pkt.local_hops <= 6 && pkt.global_hops <= 2),
+                    self.faults_ever
+                        || pkt.ring_hops > 0
+                        || (pkt.local_hops <= 6 && pkt.global_hops <= 2),
                     "canonical path too long: {} local / {} global hops (pkt {})",
                     pkt.local_hops,
                     pkt.global_hops,
@@ -565,9 +744,12 @@ impl<P: Policy> Network<P> {
                 });
             }
             _ => {
+                // Saturating: a packet trapped on the near side of a
+                // partition can circulate far past the u8 range; the
+                // §IV-A ceiling assert above still polices healthy runs.
                 match link.kind {
-                    PortKind::Local => pkt.local_hops += 1,
-                    PortKind::Global => pkt.global_hops += 1,
+                    PortKind::Local => pkt.local_hops = pkt.local_hops.saturating_add(1),
+                    PortKind::Global => pkt.global_hops = pkt.global_hops.saturating_add(1),
                     PortKind::Node | PortKind::Ring => unreachable!("non-eject canonical grant"),
                 }
                 let out = &mut store.outputs[req.out_port as usize];

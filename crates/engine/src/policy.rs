@@ -10,6 +10,7 @@
 //! in-band broadcast explicitly.
 
 use crate::fabric::{EscapeOut, Fabric, PortKind};
+use crate::fault::FaultState;
 use crate::packet::{Packet, Request};
 use crate::router::{OutputPort, RouterStore};
 use ofar_topology::{GroupId, RouterId};
@@ -23,6 +24,7 @@ pub struct RouterView<'a> {
     /// Current cycle.
     pub now: u64,
     pub(crate) outputs: &'a [OutputPort],
+    pub(crate) faults: &'a FaultState,
 }
 
 impl<'a> RouterView<'a> {
@@ -31,12 +33,14 @@ impl<'a> RouterView<'a> {
         router: RouterId,
         now: u64,
         outputs: &'a [OutputPort],
+        faults: &'a FaultState,
     ) -> Self {
         Self {
             fab,
             router,
             now,
             outputs,
+            faults,
         }
     }
 
@@ -82,12 +86,14 @@ impl<'a> RouterView<'a> {
     }
 
     /// Whether a whole packet can be granted to (`port`, `vc`) right now:
-    /// the output is idle and the downstream VC has space for the packet.
-    /// Ejection ports only need an idle output (nodes are infinite
-    /// sinks).
+    /// the output link is alive, idle, and the downstream VC has space
+    /// for the packet. Ejection ports only need an idle output (nodes
+    /// are infinite sinks). Dead outputs (fault injection, §VII) are
+    /// never available — adaptive mechanisms route around them exactly
+    /// like congested ones.
     #[inline]
     pub fn available(&self, port: usize, vc: usize) -> bool {
-        if self.out_busy(port) {
+        if self.out_busy(port) || !self.link_up(port) {
             return false;
         }
         let out = &self.outputs[port];
@@ -98,7 +104,27 @@ impl<'a> RouterView<'a> {
     /// bubble condition for entering the escape ring (§IV-C).
     #[inline]
     pub fn available_with_bubble(&self, port: usize, vc: usize) -> bool {
-        !self.out_busy(port) && self.outputs[port].credits[vc] >= 2 * self.packet_phits()
+        !self.out_busy(port)
+            && self.link_up(port)
+            && self.outputs[port].credits[vc] >= 2 * self.packet_phits()
+    }
+
+    /// Whether output `port` is alive (not failed).
+    #[inline]
+    pub fn link_up(&self, port: usize) -> bool {
+        self.faults.link_up(self.router.idx(), port)
+    }
+
+    /// Whether escape ring `ring` is fully alive.
+    #[inline]
+    pub fn ring_up(&self, ring: usize) -> bool {
+        self.faults.ring_up(ring)
+    }
+
+    /// The current fault state (liveness of links, routers and rings).
+    #[inline]
+    pub fn faults(&self) -> &FaultState {
+        self.faults
     }
 
     /// The primary escape output of this router, if an escape ring is
@@ -116,11 +142,15 @@ impl<'a> RouterView<'a> {
     }
 
     /// The escape (port, vc) with the most downstream credits across all
-    /// configured rings, if any.
+    /// configured *surviving* rings, if any. Rings with a failed link or
+    /// router anywhere along them are skipped — packets must never enter
+    /// a broken ring (§VII failover rule).
     pub fn best_escape_vc(&self) -> Option<(usize, usize)> {
         self.escapes()
             .iter()
-            .flat_map(|esc| {
+            .enumerate()
+            .filter(|&(ring, _)| self.ring_up(ring))
+            .flat_map(|(_, esc)| {
                 let port = esc.out_port as usize;
                 (esc.base_vc..esc.base_vc + esc.num_vcs).map(move |vc| (port, vc as usize))
             })
@@ -128,8 +158,11 @@ impl<'a> RouterView<'a> {
     }
 
     /// The escape (port, vc) of one specific ring, with the most
-    /// downstream credits among that ring's VCs.
+    /// downstream credits among that ring's VCs. `None` for a dead ring.
     pub fn escape_vc_of_ring(&self, ring: usize) -> Option<(usize, usize)> {
+        if !self.ring_up(ring) {
+            return None;
+        }
         let esc = self.escapes().get(ring)?;
         let port = esc.out_port as usize;
         (esc.base_vc..esc.base_vc + esc.num_vcs)
@@ -160,18 +193,29 @@ pub struct NetSnapshot<'a> {
     /// Current cycle.
     pub now: u64,
     pub(crate) routers: &'a [RouterStore],
+    pub(crate) faults: &'a FaultState,
 }
 
 impl<'a> NetSnapshot<'a> {
-    pub(crate) fn new(fab: &'a Fabric, now: u64, routers: &'a [RouterStore]) -> Self {
-        Self { fab, now, routers }
+    pub(crate) fn new(
+        fab: &'a Fabric,
+        now: u64,
+        routers: &'a [RouterStore],
+        faults: &'a FaultState,
+    ) -> Self {
+        Self { fab, now, routers, faults }
     }
 
     /// Credit-estimated occupancy (in `[0, 1]`, aggregated over VCs) of
     /// global output `k` of `router`. This is the quantity each router
-    /// would broadcast to its group under Piggybacking.
+    /// would broadcast to its group under Piggybacking. A *failed*
+    /// global link reports full occupancy — remote-sensing mechanisms
+    /// (PB) then shun it exactly like a saturated one.
     pub fn global_out_occupancy(&self, router: RouterId, k: usize) -> f64 {
         let port = self.fab.global_out(k);
+        if !self.faults.link_up(router.idx(), port) {
+            return 1.0;
+        }
         let out = &self.routers[router.idx()].outputs[port];
         let cap: u32 = out.capacity.iter().sum();
         if cap == 0 {
@@ -179,6 +223,12 @@ impl<'a> NetSnapshot<'a> {
         }
         let credits: u32 = out.credits.iter().sum();
         f64::from(cap - credits) / f64::from(cap)
+    }
+
+    /// The current fault state.
+    #[inline]
+    pub fn faults(&self) -> &FaultState {
+        self.faults
     }
 }
 

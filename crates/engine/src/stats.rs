@@ -35,6 +35,12 @@ pub struct Stats {
     /// Cycle of the last crossbar grant anywhere in the network
     /// (progress watchdog for deadlock detection).
     pub last_grant: u64,
+    /// Link-failure transitions applied (fault injection, §VII).
+    pub link_failures: u64,
+    /// Link-restoration transitions applied.
+    pub link_repairs: u64,
+    /// Router-failure transitions applied.
+    pub router_failures: u64,
 }
 
 impl Stats {

@@ -109,6 +109,28 @@ pub fn current_minimal_hop(view: &RouterView<'_>, pkt: &Packet) -> MinimalHop {
     topo.minimal_hop_to_node(view.router, pkt.dst)
 }
 
+/// The minimal next hop over *surviving* links only: equals
+/// [`current_minimal_hop`] on a healthy network (zero-cost fast path),
+/// detours dead local links within their group, and returns `None` when
+/// the minimal direction is severed — its one global link is down, or
+/// the destination is unreachable. Mechanisms decide what to do with
+/// `None`: adaptive ones divert through another group, oblivious ones
+/// wait (and the run watchdog reports the partition).
+pub fn live_minimal_hop(view: &RouterView<'_>, pkt: &Packet) -> Option<MinimalHop> {
+    if !view.faults().any() {
+        return Some(current_minimal_hop(view, pkt));
+    }
+    let topo = view.fab.topo();
+    let faults = view.faults();
+    let dead = |a: ofar_topology::RouterId, b: ofar_topology::RouterId| !faults.topo_link_up(a, b);
+    if let Some(inter) = pkt.intermediate {
+        if view.group() != inter {
+            return topo.hop_toward_group_avoiding(view.router, inter, &dead);
+        }
+    }
+    topo.minimal_hop_to_node_avoiding(view.router, pkt.dst, &dead)
+}
+
 /// Translate a [`MinimalHop`] into a concrete allocator request, using
 /// `ladder` for the VC choice.
 pub fn hop_to_request(

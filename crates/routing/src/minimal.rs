@@ -4,8 +4,8 @@
 //! ascending VC ladder. Optimal under uniform traffic; collapses to
 //! `1/(2h²)` under adversarial inter-group patterns (§III).
 
-use crate::common::{injection_vc, minimal_request, VcLadder};
-use ofar_engine::{InputCtx, Packet, Policy, Request, RouterView, SimConfig};
+use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 
 /// Minimal routing.
 #[derive(Clone, Debug)]
@@ -35,7 +35,11 @@ impl Policy for MinPolicy {
         _input: InputCtx,
         pkt: &mut Packet,
     ) -> Option<Request> {
-        Some(minimal_request(view, pkt, &self.ladder))
+        // MIN is oblivious: when its one minimal direction is severed by
+        // a fault it simply waits; the run watchdog diagnoses the
+        // partition. Dead local links are detoured inside the group.
+        let hop = live_minimal_hop(view, pkt)?;
+        Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal))
     }
 
     fn on_inject(&mut self, _view: &RouterView<'_>, pkt: &mut Packet) -> usize {

@@ -28,7 +28,7 @@
 //! `OFAR-L` (the dissection model of §IV-A/§VI) is this policy with
 //! local misrouting disabled.
 
-use crate::common::{hop_to_request, injection_vc, VcLadder};
+use crate::common::{group_pos, hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use ofar_engine::{
     InputCtx, Packet, Policy, PortKind, Request, RequestKind, RouterView, SimConfig,
     FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,
@@ -226,35 +226,92 @@ impl OfarPolicy {
     /// keep circulating — on the *same* ring the packet entered (each
     /// ring's bubble invariant is per ring; hopping between rings
     /// mid-flight would be a fresh, bubble-gated entry).
+    ///
+    /// §VII failover: when the ring has *died* under the packet (a link
+    /// or router along it failed), it must never advance into the gap.
+    /// It leaves through the minimal output if possible, else through
+    /// any live canonical port — in both cases ignoring the exit budget
+    /// (an emergency exit, not a voluntary one).
     fn route_on_ring(
         &mut self,
         view: &RouterView<'_>,
         input: InputCtx,
         pkt: &Packet,
-        min_hop: MinimalHop,
+        min_hop: Option<MinimalHop>,
     ) -> Option<Request> {
-        let mut min_req = hop_to_request(view, pkt, min_hop, &self.ladder, RequestKind::Minimal);
-        if min_req.kind == RequestKind::Eject {
-            return Some(min_req); // deliver straight from the ring
-        }
-        min_req.out_vc =
-            self.exit_vc(view, min_req.out_port as usize, min_req.out_vc as usize) as u8;
-        if pkt.ring_exits_left > 0
-            && view.available(min_req.out_port as usize, min_req.out_vc as usize)
-        {
-            return Some(Request {
-                kind: RequestKind::RingExit,
-                ..min_req
-            });
-        }
         let ring = view
             .fab
             .ring_of_input(view.router, input.port, input.vc)
             .expect("on-ring packet outside an escape buffer");
+        let ring_dead = !view.ring_up(ring);
+        if let Some(min_hop) = min_hop {
+            let mut min_req =
+                hop_to_request(view, pkt, min_hop, &self.ladder, RequestKind::Minimal);
+            if min_req.kind == RequestKind::Eject {
+                return Some(min_req); // deliver straight from the ring
+            }
+            min_req.out_vc =
+                self.exit_vc(view, min_req.out_port as usize, min_req.out_vc as usize) as u8;
+            if (pkt.ring_exits_left > 0 || ring_dead)
+                && view.available(min_req.out_port as usize, min_req.out_vc as usize)
+            {
+                return Some(Request {
+                    kind: RequestKind::RingExit,
+                    ..min_req
+                });
+            }
+        }
+        if ring_dead {
+            // Emergency exit through any live canonical port with room;
+            // if every port is busy, wait — re-evaluated next cycle.
+            let pos = group_pos(view, pkt);
+            let a = view.fab.cfg().params.a;
+            let h = view.fab.cfg().params.h;
+            let lvc = self.ladder.local_vc(pkt, pos);
+            let ports = (0..a - 1).map(|j| view.fab.local_out(j));
+            if let Some(port) = self.pick_candidate(view, ports, lvc, usize::MAX, |_| true) {
+                return Some(Request::new(port, lvc, RequestKind::RingExit));
+            }
+            let gvc = self.ladder.global_vc(pos);
+            let ports = (0..h).map(|k| view.fab.global_out(k));
+            if let Some(port) = self.pick_candidate(view, ports, gvc, usize::MAX, |_| true) {
+                return Some(Request::new(port, gvc, RequestKind::RingExit));
+            }
+            return None;
+        }
         let (port, vc) = view
             .escape_vc_of_ring(ring)
-            .expect("ring without an escape output");
+            .expect("live ring without an escape output");
         Some(Request::new(port, vc, RequestKind::RingAdvance))
+    }
+
+    /// Last-resort rerouting when every minimal direction is severed by
+    /// faults (§VII): divert through any live global port (reaching a
+    /// group whose path to the destination may survive), else a live
+    /// local port, else — after the usual patience — a surviving escape
+    /// ring. Header-flag limits are ignored: the §IV-A path bound cannot
+    /// hold on a faulted network, and livelock is bounded by the
+    /// surviving topology, not the flags.
+    fn forced_reroute(&mut self, view: &RouterView<'_>, pkt: &Packet) -> Option<Request> {
+        let pos = group_pos(view, pkt);
+        let a = view.fab.cfg().params.a;
+        let h = view.fab.cfg().params.h;
+        let gvc = self.ladder.global_vc(pos);
+        let ports = (0..h).map(|k| view.fab.global_out(k));
+        if let Some(port) = self.pick_candidate(view, ports, gvc, usize::MAX, |_| true) {
+            return Some(Request::new(port, gvc, RequestKind::MisrouteGlobal));
+        }
+        let lvc = self.ladder.local_vc(pkt, pos);
+        let ports = (0..a - 1).map(|j| view.fab.local_out(j));
+        if let Some(port) = self.pick_candidate(view, ports, lvc, usize::MAX, |_| true) {
+            return Some(Request::new(port, lvc, RequestKind::MisrouteLocal));
+        }
+        if u16::from(pkt.wait) >= self.ofar.ring_patience.min(u16::from(u8::MAX)) {
+            if let Some((port, vc)) = view.best_escape_vc() {
+                return Some(Request::new(port, vc, RequestKind::RingEnter));
+            }
+        }
+        None
     }
 }
 
@@ -278,11 +335,18 @@ impl Policy for OfarPolicy {
         pkt: &mut Packet,
     ) -> Option<Request> {
         let topo = view.fab.topo();
-        let min_hop = topo.minimal_hop_to_node(view.router, pkt.dst);
+        // Over surviving links only; `None` means the minimal direction
+        // is severed and the packet must divert (§VII).
+        let min_hop = live_minimal_hop(view, pkt);
 
         if pkt.on_ring() {
             return self.route_on_ring(view, input, pkt, min_hop);
         }
+
+        let Some(min_hop) = min_hop else {
+            pkt.wait = pkt.wait.saturating_add(1);
+            return self.forced_reroute(view, pkt);
+        };
 
         let min_req = hop_to_request(view, pkt, min_hop, &self.ladder, RequestKind::Minimal);
         if min_req.kind == RequestKind::Eject {

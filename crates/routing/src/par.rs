@@ -15,10 +15,10 @@
 //! Valiant path from there. The extra local VC keeps the ascending-VC
 //! deadlock argument intact for the (up to) two source-group local hops.
 
-use crate::common::{injection_vc, minimal_request, VcLadder};
+use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
-    InputCtx, Packet, Policy, Request, RouterView, SimConfig, FLAG_AUX,
+    InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig, FLAG_AUX,
 };
 use ofar_topology::GroupId;
 use rand::rngs::SmallRng;
@@ -123,7 +123,24 @@ impl Policy for ParPolicy {
                 pkt.clear(FLAG_AUX); // left the source group; decision moot
             }
         }
-        Some(minimal_request(view, pkt, &self.ladder))
+        if let Some(hop) = live_minimal_hop(view, pkt) {
+            return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+        }
+        // Current leg severed by a fault. In the source group, divert to
+        // a Valiant path (PAR may re-decide there); mid-route, drop a
+        // dead intermediate and head for the destination.
+        let topo = view.fab.topo();
+        let src_group = topo.group_of_node(pkt.src);
+        let dst_group = topo.group_of_node(pkt.dst);
+        if pkt.intermediate.take().is_none()
+            && view.group() == src_group
+            && src_group != dst_group
+        {
+            pkt.clear(FLAG_AUX);
+            self.divert(view, pkt, src_group, dst_group);
+        }
+        live_minimal_hop(view, pkt)
+            .map(|hop| hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal))
     }
 
     fn on_inject(&mut self, view: &RouterView<'_>, pkt: &mut Packet) -> usize {

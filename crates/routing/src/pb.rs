@@ -18,9 +18,11 @@
 //! do the same (see the `ablation_pb` bench binary) and default to the
 //! best value found there.
 
-use crate::common::{injection_vc, minimal_request, VcLadder};
+use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use crate::valiant::ValiantPolicy;
-use ofar_engine::{InputCtx, NetSnapshot, Packet, Policy, Request, RouterView, SimConfig};
+use ofar_engine::{
+    InputCtx, NetSnapshot, Packet, Policy, Request, RequestKind, RouterView, SimConfig,
+};
 use ofar_topology::{Dragonfly, GroupId, RouterId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -106,7 +108,18 @@ impl Policy for PbPolicy {
         _input: InputCtx,
         pkt: &mut Packet,
     ) -> Option<Request> {
-        Some(minimal_request(view, pkt, &self.ladder))
+        if let Some(hop) = live_minimal_hop(view, pkt) {
+            return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+        }
+        // The committed path died under the packet. PB's decision is
+        // final at injection, but a dead Valiant leg would strand the
+        // packet forever — fall back to the destination path, like VAL.
+        if pkt.intermediate.take().is_some() {
+            if let Some(hop) = live_minimal_hop(view, pkt) {
+                return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+            }
+        }
+        None
     }
 
     fn on_inject(&mut self, view: &RouterView<'_>, pkt: &mut Packet) -> usize {

@@ -12,8 +12,8 @@
 //! spot: for ADV+h patterns the `l₂` hop concentrates on single local
 //! links, capping throughput at `1/h`.
 
-use crate::common::{injection_vc, minimal_request, VcLadder};
-use ofar_engine::{InputCtx, Packet, Policy, Request, RouterView, SimConfig};
+use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 use ofar_topology::GroupId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -67,7 +67,20 @@ impl Policy for ValiantPolicy {
         _input: InputCtx,
         pkt: &mut Packet,
     ) -> Option<Request> {
-        Some(minimal_request(view, pkt, &self.ladder))
+        if let Some(hop) = live_minimal_hop(view, pkt) {
+            return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+        }
+        // The leg towards the Valiant intermediate died under the packet:
+        // drop the intermediate and head straight for the destination
+        // (idempotent bookkeeping — see `Policy::route`). If the
+        // destination itself is severed, wait and let the watchdog
+        // report the partition.
+        if pkt.intermediate.take().is_some() {
+            if let Some(hop) = live_minimal_hop(view, pkt) {
+                return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+            }
+        }
+        None
     }
 
     fn on_inject(&mut self, view: &RouterView<'_>, pkt: &mut Packet) -> usize {

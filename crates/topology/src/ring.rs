@@ -396,4 +396,86 @@ mod tests {
             .collect();
         assert_eq!(HamiltonianRing::surviving_rings(&topo, &rings, &failed), 0);
     }
+
+    #[test]
+    fn duplicate_failures_count_once() {
+        let topo = Dragonfly::balanced(3);
+        let rings = HamiltonianRing::embed_disjoint(&topo, 3);
+        let e = rings[0].edges()[2];
+        let (a, b) = (e.from(), e.to(&topo));
+        // the same edge reported three times kills exactly one ring
+        let failed = [(a, b), (a, b), (a, b)];
+        assert_eq!(HamiltonianRing::surviving_rings(&topo, &rings, &failed), 2);
+    }
+
+    #[test]
+    fn either_endpoint_order_matches() {
+        let topo = Dragonfly::balanced(3);
+        let rings = HamiltonianRing::embed_disjoint(&topo, 3);
+        let e = rings[2].edges()[7];
+        let (a, b) = (e.from(), e.to(&topo));
+        assert_eq!(
+            HamiltonianRing::surviving_rings(&topo, &rings, &[(a, b)]),
+            HamiltonianRing::surviving_rings(&topo, &rings, &[(b, a)]),
+        );
+        assert_eq!(HamiltonianRing::surviving_rings(&topo, &rings, &[(b, a)]), 2);
+    }
+
+    #[test]
+    fn non_ring_links_do_not_affect_survival() {
+        let topo = Dragonfly::balanced(2);
+        let rings = HamiltonianRing::embed_disjoint(&topo, 2);
+        // collect every undirected link NOT used by any ring and fail
+        // them all: every ring must survive
+        let used: std::collections::HashSet<_> = rings
+            .iter()
+            .flat_map(|r| r.edges().iter().map(|e| e.undirected_key(&topo)))
+            .collect();
+        let mut failed = Vec::new();
+        let a = topo.routers_per_group();
+        for r in 0..topo.num_routers() {
+            let r = RouterId::from(r);
+            for p in 0..a - 1 {
+                let n = topo.local_neighbor(r, p);
+                if !used.contains(&(r.min(n), r.max(n))) {
+                    failed.push((r, n));
+                }
+            }
+            for k in 0..topo.params().h {
+                let n = topo.global_neighbor(r, k).0;
+                if !used.contains(&(r.min(n), r.max(n))) {
+                    failed.push((r, n));
+                }
+            }
+        }
+        assert!(!failed.is_empty(), "some non-ring links must exist");
+        assert_eq!(
+            HamiltonianRing::surviving_rings(&topo, &rings, &failed),
+            rings.len()
+        );
+    }
+
+    #[test]
+    fn pairs_that_are_not_links_are_ignored() {
+        let topo = Dragonfly::balanced(2);
+        let rings = HamiltonianRing::embed_disjoint(&topo, 2);
+        // a cross-group pair with no global link between them (the
+        // Dragonfly has one link per *group* pair, not per router pair),
+        // plus a degenerate self-pair
+        let x = RouterId::new(0);
+        let y = (0..topo.num_routers())
+            .map(RouterId::from)
+            .find(|&y| {
+                topo.group_of(y) != topo.group_of(x)
+                    && (0..topo.params().h).all(|k| {
+                        topo.global_neighbor(x, k).0 != y && topo.global_neighbor(y, k).0 != x
+                    })
+            })
+            .expect("a non-adjacent cross-group router exists");
+        let failed = [(x, y), (RouterId::new(3), RouterId::new(3))];
+        assert_eq!(
+            HamiltonianRing::surviving_rings(&topo, &rings, &failed),
+            rings.len()
+        );
+    }
 }

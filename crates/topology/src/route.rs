@@ -93,6 +93,86 @@ impl Dragonfly {
     pub fn min_node_hops(&self, src: NodeId, dst: NodeId) -> usize {
         self.min_router_hops(self.router_of_node(src), self.router_of_node(dst))
     }
+
+    // ----- dead-link-aware variants (§VII degraded routing) -------------
+
+    /// Next hop towards node `dst`, avoiding links for which `dead`
+    /// returns true. Falls back to a one-router local detour inside a
+    /// group when the direct local link is dead (groups are cliques).
+    /// Returns `None` when no route towards the destination survives —
+    /// the minimal global link is down (an adaptive mechanism must then
+    /// divert through another group) or the destination is partitioned.
+    pub fn minimal_hop_to_node_avoiding<F>(
+        &self,
+        current: RouterId,
+        dst: NodeId,
+        dead: &F,
+    ) -> Option<MinimalHop>
+    where
+        F: Fn(RouterId, RouterId) -> bool,
+    {
+        let dst_router = self.router_of_node(dst);
+        if current == dst_router {
+            return Some(MinimalHop::Eject {
+                node: self.node_index(dst),
+            });
+        }
+        let gd = self.group_of(dst_router);
+        if self.group_of(current) == gd {
+            return self.local_hop_avoiding(current, dst_router, dead);
+        }
+        self.hop_toward_group_avoiding(current, gd, dead)
+    }
+
+    /// Next hop towards *any* router of `group` (which must differ from
+    /// the current group), avoiding dead links. The Dragonfly has exactly
+    /// one global link per group pair, so a dead global link makes the
+    /// group minimally unreachable (`None`); a dead local leg towards the
+    /// exit router is detoured through a third router of the group.
+    pub fn hop_toward_group_avoiding<F>(
+        &self,
+        current: RouterId,
+        group: GroupId,
+        dead: &F,
+    ) -> Option<MinimalHop>
+    where
+        F: Fn(RouterId, RouterId) -> bool,
+    {
+        let gc = self.group_of(current);
+        debug_assert_ne!(gc, group, "already in the target group");
+        let (exit, gport) = self.global_link_from(gc, group);
+        let remote = self.global_neighbor(exit, gport).0;
+        if dead(exit, remote) {
+            return None;
+        }
+        if exit == current {
+            return Some(MinimalHop::Global { port: gport });
+        }
+        self.local_hop_avoiding(current, exit, dead)
+    }
+
+    /// Next hop from `current` to `to` (same group), avoiding dead local
+    /// links: the direct link when alive, otherwise the lowest-index
+    /// two-hop detour `current → c → to` with both legs alive.
+    fn local_hop_avoiding<F>(&self, current: RouterId, to: RouterId, dead: &F) -> Option<MinimalHop>
+    where
+        F: Fn(RouterId, RouterId) -> bool,
+    {
+        debug_assert_eq!(self.group_of(current), self.group_of(to));
+        debug_assert_ne!(current, to);
+        if !dead(current, to) {
+            return Some(MinimalHop::Local {
+                port: self.local_port_to(current, to),
+            });
+        }
+        let g = self.group_of(current);
+        (0..self.params().a)
+            .map(|i| self.router_at(g, i))
+            .find(|&c| c != current && c != to && !dead(current, c) && !dead(c, to))
+            .map(|c| MinimalHop::Local {
+                port: self.local_port_to(current, c),
+            })
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +243,60 @@ mod tests {
                 assert!(ok, "unexpected minimal hop shape {classes:?}");
             }
         }
+    }
+
+    #[test]
+    fn avoiding_variant_matches_minimal_when_healthy() {
+        let topo = Dragonfly::balanced(2);
+        let alive = |_: RouterId, _: RouterId| false;
+        for s in 0..topo.num_routers() {
+            for d in 0..topo.num_nodes() {
+                let cur = RouterId::from(s);
+                let dst = NodeId::from(d);
+                assert_eq!(
+                    topo.minimal_hop_to_node_avoiding(cur, dst, &alive),
+                    Some(topo.minimal_hop_to_node(cur, dst)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_local_link_detours_within_the_group() {
+        let topo = Dragonfly::balanced(2);
+        let a = RouterId::new(0);
+        let b = topo.local_neighbor(a, 0);
+        let dst = topo.first_node_of(b);
+        let dead = move |x: RouterId, y: RouterId| (x, y) == (a, b) || (x, y) == (b, a);
+        let hop = topo
+            .minimal_hop_to_node_avoiding(a, dst, &dead)
+            .expect("clique detour must exist");
+        match hop {
+            MinimalHop::Local { port } => {
+                let c = topo.local_neighbor(a, port);
+                assert_ne!(c, b, "must not take the dead link");
+                assert_eq!(topo.group_of(c), topo.group_of(a));
+            }
+            other => panic!("expected a local detour, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_global_link_severs_minimal_reachability() {
+        let topo = Dragonfly::balanced(2);
+        let link = topo.global_links().next().unwrap();
+        let (src, dst) = (link.src, link.dst);
+        let dead = move |x: RouterId, y: RouterId| {
+            (x, y) == (src, dst) || (x, y) == (dst, src)
+        };
+        // From the exit router itself, the target group is minimally
+        // unreachable once its one global link is dead.
+        let gd = topo.group_of(dst);
+        assert_eq!(topo.hop_toward_group_avoiding(src, gd, &dead), None);
+        assert_eq!(
+            topo.minimal_hop_to_node_avoiding(src, topo.first_node_of(dst), &dead),
+            None
+        );
     }
 
     #[test]

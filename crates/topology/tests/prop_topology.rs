@@ -112,6 +112,45 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_failure_sets_never_panic(
+        h in 2usize..=4,
+        pairs in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..32),
+    ) {
+        // Failure reports may contain duplicates, self-pairs, either
+        // endpoint order and pairs that are not links at all; survival
+        // counting must take them in stride.
+        let topo = Dragonfly::balanced(h);
+        let rings = HamiltonianRing::embed_disjoint(&topo, h);
+        let n = topo.num_routers();
+        let failed: Vec<_> = pairs
+            .iter()
+            .map(|&(a, b)| (RouterId::from(a as usize % n), RouterId::from(b as usize % n)))
+            .collect();
+        let alive = HamiltonianRing::surviving_rings(&topo, &rings, &failed);
+        prop_assert!(alive <= rings.len());
+    }
+
+    #[test]
+    fn survival_is_monotone_under_more_failures(
+        h in 2usize..=4,
+        pairs in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..24),
+        split in any::<usize>(),
+    ) {
+        // Adding failures can only keep or reduce the survivor count.
+        let topo = Dragonfly::balanced(h);
+        let rings = HamiltonianRing::embed_disjoint(&topo, h);
+        let n = topo.num_routers();
+        let failed: Vec<_> = pairs
+            .iter()
+            .map(|&(a, b)| (RouterId::from(a as usize % n), RouterId::from(b as usize % n)))
+            .collect();
+        let cut = split % (failed.len() + 1);
+        let fewer = HamiltonianRing::surviving_rings(&topo, &rings, &failed[..cut]);
+        let more = HamiltonianRing::surviving_rings(&topo, &rings, &failed);
+        prop_assert!(more <= fewer, "survivors grew from {fewer} to {more}");
+    }
+
+    #[test]
     fn ring_positions_are_cyclic_permutations(h in h_values(), idx_seed in any::<u64>()) {
         let topo = Dragonfly::balanced(h);
         let idx = (idx_seed as usize) % h;

@@ -78,7 +78,7 @@ impl StencilTraffic {
         let mut best = (1, n);
         let mut d = 1;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 best = (d, n / d);
             }
             d += 1;
@@ -94,11 +94,11 @@ impl StencilTraffic {
         let mut best_score = n;
         let mut a = 1;
         while a * a * a <= n {
-            if n % a == 0 {
+            if n.is_multiple_of(a) {
                 let m = n / a;
                 let mut b = a;
                 while b * b <= m {
-                    if m % b == 0 {
+                    if m.is_multiple_of(b) {
                         let c = m / b;
                         let score = c - a;
                         if score < best_score {
