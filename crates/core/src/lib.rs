@@ -22,6 +22,14 @@
 //! );
 //! assert!(point.throughput > 0.15, "OFAR must sustain ADV+2 at 0.2");
 //! ```
+//!
+//! Every runner refuses to start a configuration that the static
+//! channel-dependency-graph verifier ([`verify`]) does not certify as
+//! deadlock-free; build with the `audit` feature to additionally police
+//! the engine's conservation laws at runtime.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod faults;
@@ -43,6 +51,7 @@ pub use ofar_engine as engine;
 pub use ofar_routing as routing;
 pub use ofar_topology as topology;
 pub use ofar_traffic as traffic;
+pub use ofar_verify as verify;
 
 /// Everything needed for typical experiments.
 pub mod prelude {
@@ -56,12 +65,14 @@ pub mod prelude {
     pub use crate::table::Table;
     pub use crate::theory;
     pub use ofar_engine::{
-        random_global_links, FaultKind, FaultPlan, Network, Policy, RingMode, SimConfig, Stats,
-        StatsWindow,
+        random_global_links, AuditReport, AuditViolation, FaultKind, FaultPlan, Network, Policy,
+        RingMode, SimConfig, Stats, StatsWindow,
     };
     pub use ofar_routing::{
-        Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy, PbConfig,
+        DependencyDecl, Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy,
+        PbConfig,
     };
+    pub use ofar_verify::{certify, certify_cached, Certificate, VerifyError};
     pub use ofar_topology::{Dragonfly, DragonflyParams, GroupId, HamiltonianRing, NodeId, RouterId};
     pub use ofar_traffic::{Bernoulli, TrafficGen, TrafficPattern, TrafficSpec};
 }

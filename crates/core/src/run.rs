@@ -1,7 +1,7 @@
 //! Experiment runners: steady state, load sweeps, transients and bursts
 //! (§VI of the paper).
 
-use ofar_engine::{FaultPlan, Network, Policy, SimConfig, StatsWindow};
+use ofar_engine::{AuditReport, FaultPlan, Network, Policy, SimConfig, StatsWindow};
 use ofar_routing::MechanismKind;
 use ofar_topology::{NodeId, RouterId};
 use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
@@ -48,6 +48,19 @@ pub struct SteadyPoint {
     pub delivered: u64,
 }
 
+/// Refuse to start a configuration the static CDG verifier does not
+/// certify as deadlock-free. The proof is cached per distinct
+/// configuration, so sweeps pay it once; a rejection names the offending
+/// dependency cycle, ring defect or buffer inequality.
+fn ensure_certified(cfg: &SimConfig, kind: MechanismKind) {
+    if let Err(e) = ofar_verify::certify_cached(cfg, kind) {
+        panic!(
+            "refusing to start unverified configuration for {}: {e}",
+            kind.name()
+        );
+    }
+}
+
 /// Run one steady-state simulation point.
 ///
 /// The configuration is adapted to the mechanism (escape ring for the
@@ -79,6 +92,7 @@ pub fn steady_state_tuned(
     pb: Option<ofar_routing::PbConfig>,
 ) -> SteadyPoint {
     let cfg = kind.adapt_config(cfg);
+    ensure_certified(&cfg, kind);
     let mut net = Network::new(cfg, kind.build_tuned(&cfg, seed, ofar, pb));
     let topo = *net.fabric().topo();
     let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
@@ -218,6 +232,7 @@ pub fn transient(
     seed: u64,
 ) -> Vec<TransientBucket> {
     let cfg = kind.adapt_config(cfg);
+    ensure_certified(&cfg, kind);
     let mut net = Network::new(cfg, kind.build(&cfg, seed));
     net.enable_delivery_log();
     let topo = *net.fabric().topo();
@@ -343,6 +358,9 @@ pub struct BurstResult {
     pub ring_entries: u64,
     /// Why the watchdog fired (`None` when the burst drained).
     pub stall: Option<StallKind>,
+    /// Runtime invariant audit over the burst. Populated when the crate
+    /// is built with the `audit` feature, `None` otherwise.
+    pub audit: Option<AuditReport>,
 }
 
 /// Burst experiment (§VI-C): every node enqueues `packets_per_node`
@@ -380,7 +398,10 @@ pub fn burst_faulted(
     run: RunConfig,
 ) -> BurstResult {
     let cfg = kind.adapt_config(cfg);
+    ensure_certified(&cfg, kind);
     let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    #[cfg(feature = "audit")]
+    net.enable_audit();
     net.set_fault_plan(plan);
     let topo = *net.fabric().topo();
     let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
@@ -415,6 +436,7 @@ pub fn burst_faulted(
                 avg_latency: net.stats().avg_latency(),
                 ring_entries: net.stats().ring_entries,
                 stall: Some(stall),
+                audit: final_audit(&mut net),
             };
         }
     }
@@ -424,7 +446,20 @@ pub fn burst_faulted(
         avg_latency: net.stats().avg_latency(),
         ring_entries: net.stats().ring_entries,
         stall: None,
+        audit: final_audit(&mut net),
     }
+}
+
+/// Take the burst's audit report (includes a forced final deep pass).
+#[cfg(feature = "audit")]
+fn final_audit<P: Policy>(net: &mut Network<P>) -> Option<AuditReport> {
+    net.take_audit_report()
+}
+
+/// Without the `audit` feature there is nothing to report.
+#[cfg(not(feature = "audit"))]
+fn final_audit<P: Policy>(_net: &mut Network<P>) -> Option<AuditReport> {
+    None
 }
 
 /// Classify a fired watchdog. Partition wins (it explains the others and

@@ -1,0 +1,398 @@
+//! Release-capable runtime invariant auditing.
+//!
+//! The engine polices itself with `debug_assert!`s on the hot path —
+//! free in release builds, fatal in debug builds. This module promotes
+//! those checks (and a set of whole-network conservation laws) into
+//! **structured, non-fatal diagnostics** that can run in release builds:
+//! instead of aborting, a violated invariant becomes an
+//! [`AuditViolation`] in the cycle's [`AuditReport`], so a long fault
+//! campaign can finish and report *every* anomaly with its router, port,
+//! VC and cycle.
+//!
+//! The types here are always compiled (they appear in public result
+//! structs); the hooks inside [`crate::network::Network`] only exist
+//! under the `audit` cargo feature, and even then auditing is off until
+//! [`crate::network::Network::enable_audit`] is called. Two tiers keep
+//! the cost low:
+//!
+//! * **fast checks** mirror the local `debug_assert!`s (credit overflow,
+//!   ring-membership transitions, dead-port grants, injection VC range)
+//!   and run on the events themselves;
+//! * **deep checks** walk the whole network (phit conservation, credit
+//!   conservation, occupancy ≤ capacity, escape-ring bubble) every
+//!   `deep_interval` cycles.
+
+use std::fmt;
+
+/// One violated invariant, with everything needed to localize it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// A returning credit pushed a sender counter above the downstream
+    /// buffer capacity (the release form of `network.rs`'s
+    /// "credit overflow" debug assert).
+    CreditOverflow {
+        /// Cycle of the credit landing.
+        cycle: u64,
+        /// Router owning the output port.
+        router: u32,
+        /// Output port index.
+        port: u16,
+        /// Virtual channel.
+        vc: u8,
+        /// Credit counter after the landing.
+        credits: u32,
+        /// Downstream capacity in phits.
+        capacity: u32,
+    },
+    /// A packet landed in a VC without room for it (flow control must
+    /// have reserved the space — this is the arrival-side mirror of
+    /// credit overflow).
+    BufferOverflow {
+        /// Cycle of the arrival.
+        cycle: u64,
+        /// Router owning the input port.
+        router: u32,
+        /// Input port index.
+        port: u16,
+        /// Virtual channel.
+        vc: u8,
+        /// Occupancy before the push, in phits.
+        occupancy: u32,
+        /// Capacity in phits.
+        capacity: u32,
+    },
+    /// A ring transition was granted to a packet in the wrong membership
+    /// state (enter while on the ring, advance/exit while off it) — the
+    /// release form of the ring-membership debug asserts.
+    RingMembership {
+        /// Cycle of the grant.
+        cycle: u64,
+        /// Granting router.
+        router: u32,
+        /// `"enter"`, `"advance"` or `"exit"`.
+        transition: &'static str,
+        /// Packet id.
+        packet: u64,
+        /// Whether the packet carried the on-ring flag.
+        on_ring: bool,
+    },
+    /// A grant targeted an output whose link is currently failed. Dead
+    /// ports are filtered when requests are collected, so this firing
+    /// means a fault transition raced past the filter.
+    DeadPortGrant {
+        /// Cycle of the grant.
+        cycle: u64,
+        /// Granting router.
+        router: u32,
+        /// Output port index.
+        port: u16,
+    },
+    /// The policy picked an injection VC outside the injection buffer.
+    InjectionVcRange {
+        /// Cycle of the attempt.
+        cycle: u64,
+        /// Injecting node.
+        node: u32,
+        /// Chosen VC.
+        vc: usize,
+        /// Number of injection VCs that exist.
+        vcs: usize,
+    },
+    /// Phit conservation failed: phits generated ≠ phits delivered +
+    /// phits inside the system (source queues, buffers, links).
+    PhitImbalance {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Phits generated since cycle 0.
+        generated: u64,
+        /// Phits delivered since cycle 0.
+        delivered: u64,
+        /// Phits currently inside the system.
+        in_system: u64,
+    },
+    /// Credit conservation failed on a link VC: sender credits +
+    /// receiver occupancy + in-flight packets + in-flight credits ≠
+    /// capacity (the release form of `check_credit_conservation`).
+    CreditLeak {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Router owning the output port.
+        router: u32,
+        /// Output port index.
+        port: u16,
+        /// Virtual channel.
+        vc: u8,
+        /// Sum of the four conserved terms.
+        sum: u32,
+        /// Capacity the sum must equal.
+        capacity: u32,
+    },
+    /// A VC buffer reports more phits than its capacity.
+    OccupancyOverCapacity {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Router owning the input port.
+        router: u32,
+        /// Input port index.
+        port: u16,
+        /// Virtual channel.
+        vc: u8,
+        /// Occupancy in phits.
+        occupancy: u32,
+        /// Capacity in phits.
+        capacity: u32,
+    },
+    /// An escape ring has lost its bubble: the free space summed over
+    /// the whole ring fell below one packet, so the ring can wedge
+    /// (§IV-C requires at least one packet-sized hole at all times).
+    BubbleLost {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Ring index.
+        ring: usize,
+        /// Free phits over the whole ring (credits + in-flight credits).
+        free_phits: u64,
+        /// Minimum free phits the bubble condition requires.
+        required: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::CreditOverflow { cycle, router, port, vc, credits, capacity } => write!(
+                f,
+                "cycle {cycle}: credit overflow at R{router} out {port} vc {vc}: \
+                 {credits} > capacity {capacity}"
+            ),
+            Self::BufferOverflow { cycle, router, port, vc, occupancy, capacity } => write!(
+                f,
+                "cycle {cycle}: buffer overflow at R{router} in {port} vc {vc}: \
+                 occupancy {occupancy} has no room below capacity {capacity}"
+            ),
+            Self::RingMembership { cycle, router, transition, packet, on_ring } => write!(
+                f,
+                "cycle {cycle}: ring {transition} granted at R{router} to packet \
+                 {packet} with on_ring={on_ring}"
+            ),
+            Self::DeadPortGrant { cycle, router, port } => write!(
+                f,
+                "cycle {cycle}: grant to dead output {port} at R{router}"
+            ),
+            Self::InjectionVcRange { cycle, node, vc, vcs } => write!(
+                f,
+                "cycle {cycle}: node {node} picked injection vc {vc} of {vcs}"
+            ),
+            Self::PhitImbalance { cycle, generated, delivered, in_system } => write!(
+                f,
+                "cycle {cycle}: phit imbalance: generated {generated} != \
+                 delivered {delivered} + in-system {in_system}"
+            ),
+            Self::CreditLeak { cycle, router, port, vc, sum, capacity } => write!(
+                f,
+                "cycle {cycle}: credit leak at R{router} out {port} vc {vc}: \
+                 conserved sum {sum} != capacity {capacity}"
+            ),
+            Self::OccupancyOverCapacity { cycle, router, port, vc, occupancy, capacity } => write!(
+                f,
+                "cycle {cycle}: occupancy {occupancy} > capacity {capacity} at \
+                 R{router} in {port} vc {vc}"
+            ),
+            Self::BubbleLost { cycle, ring, free_phits, required } => write!(
+                f,
+                "cycle {cycle}: ring {ring} bubble lost: {free_phits} free phits \
+                 < {required} required"
+            ),
+        }
+    }
+}
+
+/// Cap on stored violations; past it only the count grows. A broken
+/// invariant usually fires every cycle — the first few instances locate
+/// the bug, the rest would just bloat the report.
+const MAX_STORED: usize = 64;
+
+/// The outcome of an audited run: how much was checked and what failed.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Individual invariant checks performed.
+    pub checks: u64,
+    /// Violations, in detection order (capped; see `dropped`).
+    pub violations: Vec<AuditViolation>,
+    /// Violations detected beyond the storage cap.
+    pub dropped: u64,
+}
+
+impl AuditReport {
+    /// True when every check passed.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+
+    /// Total violations detected (stored + dropped).
+    #[inline]
+    pub fn total_violations(&self) -> u64 {
+        self.violations.len() as u64 + self.dropped
+    }
+
+    fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.dropped += other.dropped;
+        for v in other.violations {
+            if self.violations.len() < MAX_STORED {
+                self.violations.push(v);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean ({} checks)", self.checks);
+        }
+        writeln!(
+            f,
+            "audit FAILED: {} violation(s) over {} checks",
+            self.total_violations(),
+            self.checks
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "  … and {} more (not stored)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+/// The auditor the network carries when auditing is enabled: accumulates
+/// a report and decides when the deep (whole-network) checks run.
+#[derive(Clone, Debug)]
+pub struct Auditor {
+    report: AuditReport,
+    /// Deep checks run when `cycle % deep_interval == 0`.
+    deep_interval: u64,
+}
+
+impl Auditor {
+    /// Deep-check cadence balancing coverage against the O(network) walk
+    /// (≈0.4% overhead at the default network sizes).
+    pub const DEFAULT_DEEP_INTERVAL: u64 = 256;
+
+    /// New auditor with the default deep-check cadence.
+    pub fn new() -> Self {
+        Self::with_deep_interval(Self::DEFAULT_DEEP_INTERVAL)
+    }
+
+    /// New auditor running the whole-network checks every `interval`
+    /// cycles (0 disables them; 1 checks every cycle).
+    pub fn with_deep_interval(interval: u64) -> Self {
+        Self {
+            report: AuditReport::default(),
+            deep_interval: interval,
+        }
+    }
+
+    /// Whether the deep checks are due this cycle.
+    #[inline]
+    pub fn deep_due(&self, cycle: u64) -> bool {
+        self.deep_interval != 0 && cycle.is_multiple_of(self.deep_interval)
+    }
+
+    /// Count `n` passed-or-failed checks.
+    #[inline]
+    pub fn count(&mut self, n: u64) {
+        self.report.checks += n;
+    }
+
+    /// Record a violation (counts as one check).
+    pub fn record(&mut self, v: AuditViolation) {
+        self.report.checks += 1;
+        if self.report.violations.len() < MAX_STORED {
+            self.report.violations.push(v);
+        } else {
+            self.report.dropped += 1;
+        }
+    }
+
+    /// The report so far.
+    #[inline]
+    pub fn report(&self) -> &AuditReport {
+        &self.report
+    }
+
+    /// Take the report, resetting the accumulator.
+    pub fn take_report(&mut self) -> AuditReport {
+        std::mem::take(&mut self.report)
+    }
+
+    /// Fold another report into this one (e.g. from a drained phase).
+    pub fn absorb(&mut self, other: AuditReport) {
+        self.report.merge(other);
+    }
+}
+
+impl Default for Auditor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_caps_stored_violations() {
+        let mut a = Auditor::new();
+        for cycle in 0..(MAX_STORED as u64 + 10) {
+            a.record(AuditViolation::DeadPortGrant {
+                cycle,
+                router: 0,
+                port: 0,
+            });
+        }
+        let r = a.take_report();
+        assert_eq!(r.violations.len(), MAX_STORED);
+        assert_eq!(r.dropped, 10);
+        assert_eq!(r.total_violations(), MAX_STORED as u64 + 10);
+        assert!(!r.is_clean());
+        // taking resets
+        assert!(a.report().is_clean());
+    }
+
+    #[test]
+    fn deep_cadence() {
+        let a = Auditor::with_deep_interval(8);
+        assert!(a.deep_due(0));
+        assert!(!a.deep_due(7));
+        assert!(a.deep_due(16));
+        assert!(!Auditor::with_deep_interval(0).deep_due(0));
+    }
+
+    #[test]
+    fn display_formats_locate_the_offender() {
+        let v = AuditViolation::CreditOverflow {
+            cycle: 42,
+            router: 7,
+            port: 3,
+            vc: 1,
+            credits: 40,
+            capacity: 32,
+        };
+        let s = v.to_string();
+        assert!(s.contains("cycle 42") && s.contains("R7") && s.contains("vc 1"));
+        let mut rep = AuditReport {
+            checks: 5,
+            ..AuditReport::default()
+        };
+        assert!(rep.to_string().contains("clean"));
+        rep.violations.push(v);
+        assert!(rep.to_string().contains("FAILED"));
+    }
+}

@@ -15,7 +15,14 @@
 //! The engine is routing-agnostic: mechanisms implement the
 //! [`policy::Policy`] trait (see the `ofar-routing` crate for MIN,
 //! Valiant, Piggybacking, PAR, OFAR and OFAR-L).
+//!
+//! Under the `audit` cargo feature the engine can also police its own
+//! invariants at runtime — see the [`audit`] module.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod audit;
 pub mod buffer;
 pub mod config;
 pub mod fabric;
@@ -26,6 +33,7 @@ pub mod policy;
 pub mod router;
 pub mod stats;
 
+pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use config::{ConfigError, RingMode, SimConfig};
 pub use fabric::{EscapeOut, Fabric, InDesc, OutLink, PortKind};
 pub use fault::{random_global_links, FaultEvent, FaultKind, FaultPlan, FaultState};

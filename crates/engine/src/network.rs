@@ -70,6 +70,9 @@ pub struct Network<P: Policy> {
     faults_ever: bool,
     /// Cycle of the last grant at each router (stall diagnosis).
     router_last_grant: Vec<u64>,
+    /// Runtime invariant auditor; `None` until [`Self::enable_audit`].
+    #[cfg(feature = "audit")]
+    auditor: Option<crate::audit::Auditor>,
     // reusable scratch
     effects: Vec<Effect>,
     reqs: Vec<(u16, u8, Request)>,
@@ -116,6 +119,8 @@ impl<P: Policy> Network<P> {
             plan_cursor: 0,
             faults_ever: false,
             router_last_grant: vec![0; nr],
+            #[cfg(feature = "audit")]
+            auditor: None,
             effects: Vec::with_capacity(256),
             reqs: Vec::with_capacity(n_in * 4),
             matched_in: vec![false; n_in],
@@ -210,6 +215,45 @@ impl<P: Policy> Network<P> {
             .as_ref()
             .map(|v| v[router.idx() * self.fab.n_out() + port])
             .unwrap_or(0)
+    }
+
+    // ----- runtime invariant auditing (feature `audit`) -----------------
+
+    /// Start auditing runtime invariants with the default deep-check
+    /// cadence. The fast checks mirror the hot-path `debug_assert!`s
+    /// (credit overflow, ring-membership transitions, dead-port grants,
+    /// injection VC range); the deep checks walk the whole network
+    /// (phit/credit conservation, occupancy bounds, ring bubble) every
+    /// [`crate::audit::Auditor::DEFAULT_DEEP_INTERVAL`] cycles.
+    #[cfg(feature = "audit")]
+    pub fn enable_audit(&mut self) {
+        self.auditor = Some(crate::audit::Auditor::new());
+    }
+
+    /// [`Self::enable_audit`] with an explicit deep-check interval
+    /// (0 disables the deep checks, 1 runs them every cycle).
+    #[cfg(feature = "audit")]
+    pub fn enable_audit_with_interval(&mut self, interval: u64) {
+        self.auditor = Some(crate::audit::Auditor::with_deep_interval(interval));
+    }
+
+    /// The audit report accumulated so far, if auditing is enabled.
+    #[cfg(feature = "audit")]
+    pub fn audit_report(&self) -> Option<&crate::audit::AuditReport> {
+        self.auditor.as_ref().map(crate::audit::Auditor::report)
+    }
+
+    /// Run the deep checks right now (regardless of cadence) and take
+    /// the accumulated report, resetting the auditor.
+    #[cfg(feature = "audit")]
+    pub fn take_audit_report(&mut self) -> Option<crate::audit::AuditReport> {
+        if self.auditor.is_some() {
+            let now = self.now;
+            self.deep_audit(now);
+        }
+        self.auditor
+            .as_mut()
+            .map(crate::audit::Auditor::take_report)
     }
 
     // ----- fault injection (§VII) ---------------------------------------
@@ -396,6 +440,10 @@ impl<P: Policy> Network<P> {
         for r in 0..self.routers.len() {
             self.route_and_allocate(r, now);
         }
+        #[cfg(feature = "audit")]
+        if self.auditor.as_ref().is_some_and(|a| a.deep_due(now)) {
+            self.deep_audit(now);
+        }
         let snap = NetSnapshot::new(&self.fab, now, &self.routers, &self.faults);
         self.policy.end_cycle(&snap);
         self.now = now + 1;
@@ -416,9 +464,13 @@ impl<P: Policy> Network<P> {
     fn deliver_events(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let topo = *self.fab.topo();
+        #[cfg(feature = "audit")]
+        let auditor = &mut self.auditor;
         for (ridx, router) in self.routers.iter_mut().enumerate() {
             let g = topo.group_of(RouterId::from(ridx));
-            for input in router.inputs.iter_mut() {
+            // (the index feeds the auditor's diagnostics; unused otherwise)
+            #[cfg_attr(not(feature = "audit"), allow(clippy::unused_enumerate_index))]
+            for (_port, input) in router.inputs.iter_mut().enumerate() {
                 while let Some(&(at, vc, _)) = input.arrivals.front() {
                     if at > now {
                         break;
@@ -431,18 +483,55 @@ impl<P: Policy> Network<P> {
                             pkt.intermediate = None;
                         }
                     }
+                    // Arrival-side mirror of the credit mechanism: flow
+                    // control must have reserved this space upstream.
+                    #[cfg(feature = "audit")]
+                    if let Some(a) = auditor.as_mut() {
+                        let fifo = &input.vcs[vc as usize];
+                        if fifo.fits(size) {
+                            a.count(1);
+                        } else {
+                            a.record(crate::audit::AuditViolation::BufferOverflow {
+                                cycle: now,
+                                router: ridx as u32,
+                                port: _port as u16,
+                                vc,
+                                occupancy: fifo.occupancy(),
+                                capacity: fifo.capacity(),
+                            });
+                        }
+                    }
                     input.vcs[vc as usize].push(pkt, size);
                 }
             }
-            for output in router.outputs.iter_mut() {
+            #[cfg_attr(not(feature = "audit"), allow(clippy::unused_enumerate_index))]
+            for (_port, output) in router.outputs.iter_mut().enumerate() {
                 while let Some(&(at, vc, phits)) = output.credit_events.front() {
                     if at > now {
                         break;
                     }
                     output.credit_events.pop_front();
+                    let cap = output.capacity[vc as usize];
                     let c = &mut output.credits[vc as usize];
                     *c += phits;
-                    debug_assert!(*c <= output.capacity[vc as usize], "credit overflow");
+                    debug_assert!(*c <= cap, "credit overflow");
+                    // Release form of the assert above: a counter past
+                    // the downstream capacity means a double credit.
+                    #[cfg(feature = "audit")]
+                    if let Some(a) = auditor.as_mut() {
+                        if *c <= cap {
+                            a.count(1);
+                        } else {
+                            a.record(crate::audit::AuditViolation::CreditOverflow {
+                                cycle: now,
+                                router: ridx as u32,
+                                port: _port as u16,
+                                vc,
+                                credits: *c,
+                                capacity: cap,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -464,6 +553,22 @@ impl<P: Policy> Network<P> {
             let pkt = self.src_q[node].front_mut().unwrap();
             let vc = self.policy.on_inject(&view, pkt);
             debug_assert!(vc < store.inputs[port].vcs.len());
+            // Release form of the assert above: an out-of-range pick
+            // would corrupt an unrelated VC, so it is also skipped.
+            #[cfg(feature = "audit")]
+            if let Some(a) = self.auditor.as_mut() {
+                if vc < store.inputs[port].vcs.len() {
+                    a.count(1);
+                } else {
+                    a.record(crate::audit::AuditViolation::InjectionVcRange {
+                        cycle: now,
+                        node: node as u32,
+                        vc,
+                        vcs: store.inputs[port].vcs.len(),
+                    });
+                    continue;
+                }
+            }
             if store.inputs[port].vcs[vc].fits(size) {
                 let pkt = self.src_q[node].pop_front().unwrap();
                 store.inputs[port].vcs[vc].push(pkt, size);
@@ -583,6 +688,8 @@ impl<P: Policy> Network<P> {
         // --- execute grants ---
         for gi in 0..self.grants.len() {
             let (in_port, vc, req) = self.grants[gi];
+            #[cfg(feature = "audit")]
+            self.audit_grant(ridx, in_port as usize, vc as usize, req, now);
             self.execute_grant(ridx, in_port as usize, vc as usize, req, now);
         }
         // Apply deferred cross-router effects (arrivals, credits).
@@ -629,6 +736,177 @@ impl<P: Policy> Network<P> {
             _ => size,
         };
         out.credits[req.out_vc as usize] >= need
+    }
+
+    /// Pre-grant audit: the release form of `execute_grant`'s ring-
+    /// membership `debug_assert!`s, plus the no-grant-to-dead-port rule.
+    /// Reads only — runs before the grant mutates anything.
+    #[cfg(feature = "audit")]
+    fn audit_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {
+        use crate::audit::AuditViolation;
+        if self.auditor.is_none() {
+            return;
+        }
+        let head = self.routers[ridx].inputs[in_port].vcs[vc]
+            .head()
+            .map(|p| (p.id, p.on_ring()));
+        let Some((packet, on_ring)) = head else { return };
+        let link_up = self.faults.link_up(ridx, req.out_port as usize);
+        let a = self.auditor.as_mut().expect("checked above");
+        if link_up {
+            a.count(1);
+        } else {
+            // Dead outputs are filtered at request collection, so this
+            // firing means a liveness change raced past the filter.
+            a.record(AuditViolation::DeadPortGrant {
+                cycle: now,
+                router: ridx as u32,
+                port: req.out_port,
+            });
+        }
+        let expected = match req.kind {
+            RequestKind::RingEnter => Some(("enter", false)),
+            RequestKind::RingAdvance => Some(("advance", true)),
+            RequestKind::RingExit => Some(("exit", true)),
+            _ => None,
+        };
+        if let Some((transition, want_on_ring)) = expected {
+            if on_ring == want_on_ring {
+                a.count(1);
+            } else {
+                a.record(AuditViolation::RingMembership {
+                    cycle: now,
+                    router: ridx as u32,
+                    transition,
+                    packet,
+                    on_ring,
+                });
+            }
+        }
+    }
+
+    /// The whole-network conservation checks (cadenced by the auditor's
+    /// deep interval): phit conservation, per-link credit conservation,
+    /// occupancy bounds and the escape-ring bubble invariant.
+    #[cfg(feature = "audit")]
+    fn deep_audit(&mut self, now: u64) {
+        use crate::audit::AuditViolation;
+        if self.auditor.is_none() {
+            return;
+        }
+        let size = self.fab.cfg().packet_size as u64;
+        let mut checks = 0u64;
+        let mut viols: Vec<AuditViolation> = Vec::new();
+
+        // Phit conservation: generated = delivered + inside the system.
+        checks += 1;
+        let generated = self.stats.generated_packets * size;
+        let delivered = self.stats.delivered_phits;
+        let in_system = self.phits_in_system();
+        if generated != delivered + in_system {
+            viols.push(AuditViolation::PhitImbalance {
+                cycle: now,
+                generated,
+                delivered,
+                in_system,
+            });
+        }
+
+        // Credit conservation per (link, VC) — the non-fatal form of
+        // `check_credit_conservation` — and occupancy ≤ capacity.
+        for ridx in 0..self.routers.len() {
+            let router = RouterId::from(ridx);
+            for port in 0..self.fab.n_out() {
+                let link = self.fab.out_link(router, port);
+                if link.kind == PortKind::Node {
+                    continue;
+                }
+                let out = &self.routers[ridx].outputs[port];
+                let din = &self.routers[link.dst_router as usize].inputs[link.dst_port as usize];
+                for vcn in 0..out.credits.len() {
+                    checks += 1;
+                    let inflight_pkts = din
+                        .arrivals
+                        .iter()
+                        .filter(|&&(_, v, _)| v as usize == vcn)
+                        .count() as u32;
+                    let inflight_credits: u32 = out
+                        .credit_events
+                        .iter()
+                        .filter(|&&(_, v, _)| v as usize == vcn)
+                        .map(|&(_, _, p)| p)
+                        .sum();
+                    let sum = out.credits[vcn]
+                        + din.vcs[vcn].occupancy()
+                        + inflight_pkts * size as u32
+                        + inflight_credits;
+                    if sum != out.capacity[vcn] {
+                        viols.push(AuditViolation::CreditLeak {
+                            cycle: now,
+                            router: ridx as u32,
+                            port: port as u16,
+                            vc: vcn as u8,
+                            sum,
+                            capacity: out.capacity[vcn],
+                        });
+                    }
+                }
+            }
+            for (port, input) in self.routers[ridx].inputs.iter().enumerate() {
+                for (vcn, fifo) in input.vcs.iter().enumerate() {
+                    checks += 1;
+                    if fifo.occupancy() > fifo.capacity() {
+                        viols.push(AuditViolation::OccupancyOverCapacity {
+                            cycle: now,
+                            router: ridx as u32,
+                            port: port as u16,
+                            vc: vcn as u8,
+                            occupancy: fifo.occupancy(),
+                            capacity: fifo.capacity(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Escape-ring bubble: the free space summed over each live
+        // ring's lanes must never drop below one packet (§IV-C). All
+        // credit motion is whole-packet, so a packet-sized total means a
+        // packet-sized hole at some router.
+        for j in 0..self.fab.rings().len() {
+            if !self.faults.ring_up(j) {
+                continue; // a dead ring is drained by emergency exits
+            }
+            checks += 1;
+            let mut free = 0u64;
+            for ridx in 0..self.routers.len() {
+                let esc = self.fab.escapes(RouterId::from(ridx))[j];
+                let out = &self.routers[ridx].outputs[esc.out_port as usize];
+                for lane in esc.base_vc..esc.base_vc + esc.num_vcs {
+                    free += u64::from(out.credits[lane as usize]);
+                    free += out
+                        .credit_events
+                        .iter()
+                        .filter(|&&(_, v, _)| v == lane)
+                        .map(|&(_, _, p)| u64::from(p))
+                        .sum::<u64>();
+                }
+            }
+            if free < size {
+                viols.push(AuditViolation::BubbleLost {
+                    cycle: now,
+                    ring: j,
+                    free_phits: free,
+                    required: size,
+                });
+            }
+        }
+
+        let a = self.auditor.as_mut().expect("checked above");
+        a.count(checks - viols.len() as u64);
+        for v in viols {
+            a.record(v);
+        }
     }
 
     fn execute_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {

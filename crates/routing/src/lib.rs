@@ -12,8 +12,15 @@
 //!
 //! [`MechanismKind`] / [`Mechanism`] wrap the family behind one enum for
 //! sweep harnesses.
+//!
+//! [`deps`] exports each mechanism's channel-dependency declaration
+//! ([`DependencyDecl`]) for the static deadlock verifier (`ofar-verify`).
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod common;
+pub mod deps;
 pub mod mechanism;
 pub mod minimal;
 pub mod ofar;
@@ -22,6 +29,7 @@ pub mod pb;
 pub mod valiant;
 
 pub use common::VcLadder;
+pub use deps::{ClassEdge, ClassId, DependencyDecl, EdgeWhy, MechanismDeps};
 pub use mechanism::{Mechanism, MechanismKind};
 pub use minimal::MinPolicy;
 pub use ofar::{MisrouteThreshold, OfarConfig, OfarPolicy};

@@ -262,6 +262,23 @@ impl Dragonfly {
         }
         hops
     }
+
+    /// Classify the direct link between two routers, if one exists:
+    /// routers of the same group are joined by exactly one local link,
+    /// and a router pair of different groups by at most one global link.
+    /// Used by the CDG verifier to check that every declared ring edge is
+    /// a real wire.
+    pub fn link_between(&self, a: RouterId, b: RouterId) -> Option<LinkKind> {
+        if a == b {
+            return None;
+        }
+        if self.group_of(a) == self.group_of(b) {
+            return Some(LinkKind::Local);
+        }
+        (0..self.params.h)
+            .any(|k| self.global_neighbor(a, k).0 == b)
+            .then_some(LinkKind::Global)
+    }
 }
 
 #[cfg(test)]

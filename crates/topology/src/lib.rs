@@ -26,6 +26,9 @@
 //! deadlock-free escape subnetwork (§IV-C), including the edge-disjoint
 //! multi-ring embedding sketched as future work in §VII.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod dragonfly;
 pub mod ids;
 pub mod params;

@@ -198,6 +198,14 @@ impl HamiltonianRing {
         &self.edges
     }
 
+    /// Export the ring as directed `(from, to)` router pairs in
+    /// traversal order — the raw form consumed by the CDG verifier
+    /// (`ofar-verify`), which re-derives the cycle property from the
+    /// pairs against the topology instead of trusting this builder.
+    pub fn successor_pairs(&self, topo: &Dragonfly) -> Vec<(RouterId, RouterId)> {
+        self.edges.iter().map(|e| (e.from(), e.to(topo))).collect()
+    }
+
     /// Check that this is a spanning cycle over real links.
     pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
         let n = topo.num_routers();

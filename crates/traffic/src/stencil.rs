@@ -242,7 +242,7 @@ mod tests {
     fn randomized_mapping_is_a_permutation() {
         let t = topo();
         let s = StencilTraffic::square_2d(&t, TaskMapping::RandomizedNodes, 9);
-        let mut seen = vec![false; 72];
+        let mut seen = [false; 72];
         let mut moved = 0;
         for r in 0..72 {
             let n = s.node_of_rank(r);

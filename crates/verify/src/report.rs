@@ -1,0 +1,200 @@
+//! Typed verification outcomes: the certificate of a proven-safe
+//! configuration and the named violations of a rejected one.
+
+use ofar_engine::ConfigError;
+use ofar_routing::ClassId;
+use ofar_topology::RouterId;
+use std::fmt;
+
+/// One concrete channel in a reported dependency cycle: the directed
+/// link `from → to` at virtual channel `vc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelRef {
+    /// Router the channel departs from.
+    pub from: RouterId,
+    /// Router the channel lands at.
+    pub to: RouterId,
+    /// Whether the link is local or global.
+    pub global: bool,
+    /// Virtual channel index on the link.
+    pub vc: u8,
+}
+
+impl ChannelRef {
+    /// The abstract class of this channel.
+    pub fn class(&self) -> ClassId {
+        if self.global {
+            ClassId::Global { vc: self.vc }
+        } else {
+            ClassId::Local { vc: self.vc }
+        }
+    }
+}
+
+impl fmt::Display for ChannelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.global { "g" } else { "l" };
+        write!(f, "{}-{}:v{}->{}", self.from, kind, self.vc, self.to)
+    }
+}
+
+/// Render a cycle as `a → b → … → a`, eliding the middle of very long
+/// cycles.
+pub(crate) fn fmt_cycle(cycle: &[ChannelRef], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    const SHOWN: usize = 8;
+    for (i, c) in cycle.iter().take(SHOWN).enumerate() {
+        if i > 0 {
+            write!(f, " ")?;
+        }
+        write!(f, "{c}")?;
+    }
+    if cycle.len() > SHOWN {
+        write!(f, " … ({} channels total)", cycle.len())?;
+    }
+    Ok(())
+}
+
+/// Why a configuration was refused. Every variant names the concrete
+/// offender — a dependency cycle as a router/port/VC sequence, a broken
+/// ring with its routers, or the violated buffer inequality.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// The configuration failed [`ofar_engine::SimConfig::validate`].
+    Config(ConfigError),
+    /// The mechanism delegates deadlock freedom to an escape subnetwork,
+    /// but the configuration provides no ring.
+    MissingEscape {
+        /// Mechanism name.
+        mechanism: &'static str,
+    },
+    /// The ring buffers cannot hold the bubble: `buf_ring` must be at
+    /// least two packets (§IV-C) or ring entries can fill the cycle.
+    Bubble {
+        /// Configured ring-buffer capacity in phits.
+        cap: usize,
+        /// Required capacity (`2 × packet_size`) in phits.
+        required: usize,
+    },
+    /// An escape ring is not a single spanning cycle over real links.
+    MalformedRing {
+        /// Ring index.
+        ring: usize,
+        /// What is wrong, in words.
+        detail: String,
+        /// The routers involved in the defect.
+        witness: Vec<RouterId>,
+    },
+    /// The canonical channel-dependency graph of a mechanism without an
+    /// escape layer contains a cycle.
+    DependencyCycle {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// One concrete cycle, as a router/port/VC sequence.
+        cycle: Vec<ChannelRef>,
+    },
+    /// An adaptive channel class participates in a dependency cycle but
+    /// declares no entry into the escape layer, so Duato's drain
+    /// condition fails.
+    NoEscapeDrain {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// The class with no declared escape entry.
+        class: ClassId,
+        /// A cycle through that class.
+        cycle: Vec<ChannelRef>,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+            Self::MissingEscape { mechanism } => write!(
+                f,
+                "{mechanism} delegates deadlock freedom to an escape ring, \
+                 but the configuration has none (SimConfig::ring = None)"
+            ),
+            Self::Bubble { cap, required } => write!(
+                f,
+                "bubble violation: ring buffers hold {cap} phits but the \
+                 bubble condition needs {required} (two packets)"
+            ),
+            Self::MalformedRing { ring, detail, witness } => {
+                write!(f, "escape ring {ring} is malformed: {detail}")?;
+                if !witness.is_empty() {
+                    write!(f, " [")?;
+                    for (i, r) in witness.iter().take(8).enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            Self::DependencyCycle { mechanism, cycle } => {
+                write!(f, "{mechanism}: channel dependency cycle ")?;
+                fmt_cycle(cycle, f)
+            }
+            Self::NoEscapeDrain { mechanism, class, cycle } => {
+                write!(
+                    f,
+                    "{mechanism}: class {class} is in a dependency cycle but \
+                     declares no escape entry (Duato drain fails): "
+                )?;
+                fmt_cycle(cycle, f)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Proof summary for a certified configuration: what was checked and how
+/// big the obligation was.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Certified mechanism.
+    pub mechanism: &'static str,
+    /// Routers in the instantiated topology.
+    pub routers: usize,
+    /// Concrete canonical channels in the dependency graph.
+    pub channels: usize,
+    /// Concrete dependency edges instantiated from the declaration.
+    pub dependencies: usize,
+    /// Escape channels (ring lanes × routers × rings); 0 without a ring.
+    pub escape_channels: usize,
+    /// Escape rings proven to be spanning bubble-protected cycles.
+    pub rings: usize,
+    /// Cyclic strongly-connected components in the adaptive subgraph,
+    /// each proven to drain into the escape layer (0 means the canonical
+    /// graph itself is acyclic).
+    pub cycles_drained: usize,
+    /// `buf_ring − 2·packet_size` headroom over the bubble condition
+    /// (`None` without a ring).
+    pub bubble_slack: Option<usize>,
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} channels / {} deps over {} routers",
+            self.mechanism, self.channels, self.dependencies, self.routers
+        )?;
+        if self.rings > 0 {
+            write!(
+                f,
+                "; {} ring(s), {} escape channels, {} cycle(s) drained, bubble slack {}",
+                self.rings,
+                self.escape_channels,
+                self.cycles_drained,
+                self.bubble_slack.unwrap_or(0)
+            )?;
+        } else {
+            write!(f, "; acyclic (no escape layer needed)")?;
+        }
+        Ok(())
+    }
+}

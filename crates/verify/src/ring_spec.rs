@@ -1,0 +1,100 @@
+//! Escape-ring specifications and their well-formedness proof.
+//!
+//! The verifier never trusts [`HamiltonianRing`]'s own constructor: a
+//! ring arrives as a bag of directed `(from, to)` router pairs and is
+//! re-proven to be a single spanning cycle over real links. That is what
+//! makes the escape subgraph's only cycle the bubble-protected ring
+//! itself, which is the acyclicity half of the Duato argument.
+
+use crate::report::VerifyError;
+use ofar_topology::{Dragonfly, HamiltonianRing, RouterId};
+
+/// A directed escape ring as raw successor pairs. Build one from a real
+/// [`HamiltonianRing`] with [`RingSpec::from_ring`], or by hand to feed
+/// the verifier a deliberately broken ring in tests.
+#[derive(Clone, Debug)]
+pub struct RingSpec {
+    /// Ring index (for reports).
+    pub index: usize,
+    /// Directed `(from, to)` pairs, one per ring hop, in any order.
+    pub edges: Vec<(RouterId, RouterId)>,
+}
+
+impl RingSpec {
+    /// Export a built ring for verification.
+    pub fn from_ring(topo: &Dragonfly, ring: &HamiltonianRing) -> Self {
+        Self {
+            index: ring.index(),
+            edges: ring.successor_pairs(topo),
+        }
+    }
+
+    /// Prove this is a single directed cycle that visits every router of
+    /// `topo` exactly once using only physical links. Any defect is
+    /// returned as a [`VerifyError::MalformedRing`] naming the routers
+    /// involved.
+    pub fn check(&self, topo: &Dragonfly) -> Result<(), VerifyError> {
+        let nr = topo.num_routers();
+        let fail = |detail: String, witness: Vec<RouterId>| {
+            Err(VerifyError::MalformedRing {
+                ring: self.index,
+                detail,
+                witness,
+            })
+        };
+        if self.edges.len() != nr {
+            return fail(
+                format!("{} ring edges for {nr} routers (must be Hamiltonian)", self.edges.len()),
+                Vec::new(),
+            );
+        }
+        let mut succ: Vec<Option<RouterId>> = vec![None; nr];
+        let mut pred_seen = vec![false; nr];
+        for &(from, to) in &self.edges {
+            if from.idx() >= nr || to.idx() >= nr {
+                return fail(format!("edge {from}->{to} names a router outside the topology"), vec![from, to]);
+            }
+            if topo.link_between(from, to).is_none() {
+                return fail(
+                    format!("edge {from}->{to} is not a physical link"),
+                    vec![from, to],
+                );
+            }
+            if succ[from.idx()].is_some() {
+                return fail(
+                    format!("router {from} has two ring successors"),
+                    vec![from],
+                );
+            }
+            succ[from.idx()] = Some(to);
+            if pred_seen[to.idx()] {
+                return fail(
+                    format!("router {to} has two ring predecessors"),
+                    vec![to],
+                );
+            }
+            pred_seen[to.idx()] = true;
+        }
+        // Degrees are all exactly one now; follow the cycle and require
+        // it to close only after visiting every router.
+        let start = self.edges[0].0;
+        let mut at = start;
+        let mut walked: Vec<RouterId> = Vec::new();
+        for _ in 0..nr {
+            walked.push(at);
+            at = succ[at.idx()].expect("out-degree proven above");
+            if at == start && walked.len() < nr {
+                walked.truncate(12);
+                return fail(
+                    format!(
+                        "ring closes after {} of {nr} routers (not a single spanning cycle)",
+                        walked.len()
+                    ),
+                    walked,
+                );
+            }
+        }
+        debug_assert_eq!(at, start, "degree-1 functional graph closed elsewhere");
+        Ok(())
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the CDG verifier: every configuration the sweep
+//! drivers can produce is certified, and the classic broken shapes are
+//! rejected with the right typed error.
+
+use ofar_engine::{RingMode, SimConfig};
+use ofar_routing::{ClassId, DependencyDecl, MechanismKind};
+use ofar_topology::{Dragonfly, HamiltonianRing};
+use ofar_verify::{certify, verify_decl, RingSpec, VerifyError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every mechanism of the paper set certifies on every sweep
+    /// configuration: paper-scale VCs, any legal ring count, either ring
+    /// mode. This is the guarantee that `core::run`'s refusal gate never
+    /// fires for a configuration our own constructors can produce.
+    #[test]
+    fn sweep_configurations_all_certify(
+        h in 2usize..=3,
+        rings in 1usize..=3,
+        embedded in any::<bool>(),
+        mech in 0usize..5,
+    ) {
+        let kind = MechanismKind::paper_set()[mech];
+        let mut cfg = kind.adapt_config(SimConfig::paper(h));
+        if kind.needs_ring() {
+            cfg.escape_rings = rings.min(h);
+            cfg.ring = if embedded { RingMode::Embedded } else { RingMode::Physical };
+        }
+        let cert = certify(&cfg, kind);
+        prop_assert!(cert.is_ok(), "{}: {:?}", kind.name(), cert.err());
+        let cert = cert.unwrap();
+        prop_assert_eq!(cert.routers, Dragonfly::new(cfg.params).num_routers());
+        if kind.needs_ring() {
+            prop_assert_eq!(cert.rings, rings.min(h));
+        }
+    }
+
+    /// Reversing any single ring edge breaks the spanning-cycle proof
+    /// and is reported as a malformed ring, never accepted and never a
+    /// panic.
+    #[test]
+    fn any_reversed_ring_edge_is_rejected(h in 2usize..=3, edge in 0usize..36) {
+        let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(h));
+        let topo = Dragonfly::new(cfg.params);
+        let ring = HamiltonianRing::embedded(&topo, 0);
+        let mut spec = RingSpec::from_ring(&topo, &ring);
+        let i = edge % spec.edges.len();
+        let (from, to) = spec.edges[i];
+        spec.edges[i] = (to, from);
+        let decl = MechanismKind::Ofar.dependency_decl(&cfg);
+        let r = verify_decl(&topo, &cfg, &decl, &[spec]);
+        prop_assert!(
+            matches!(r, Err(VerifyError::MalformedRing { .. })),
+            "expected MalformedRing, got {r:?}"
+        );
+    }
+
+    /// Any ring buffer below two packets violates the bubble condition.
+    #[test]
+    fn any_sub_bubble_ring_buffer_is_rejected(h in 2usize..=3, cap in 0usize..8) {
+        let mut cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(h));
+        prop_assume!(cap < 2 * cfg.packet_size);
+        cfg.buf_ring = cap;
+        let err = certify(&cfg, MechanismKind::Ofar).unwrap_err();
+        prop_assert_eq!(
+            err,
+            VerifyError::Bubble { cap, required: 2 * cfg.packet_size }
+        );
+    }
+
+    /// Stripping the escape entry from any canonical class that sits in
+    /// a dependency cycle fails Duato's drain condition for exactly that
+    /// class.
+    #[test]
+    fn any_drain_free_class_is_rejected(h in 2usize..=3, local in any::<bool>(), vc in 0u8..2) {
+        let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(h));
+        let class = if local {
+            ClassId::Local { vc }
+        } else {
+            ClassId::Global { vc: vc.min((cfg.vcs_global - 1) as u8) }
+        };
+        let topo = Dragonfly::new(cfg.params);
+        let ring = HamiltonianRing::embedded(&topo, 0);
+        let spec = RingSpec::from_ring(&topo, &ring);
+        let mut decl = MechanismKind::Ofar.dependency_decl(&cfg);
+        decl.edges.retain(|e| !(e.to == ClassId::Escape && e.from == class));
+        let r = verify_decl(&topo, &cfg, &decl, &[spec]);
+        match r {
+            Err(VerifyError::NoEscapeDrain { class: c, ref cycle, .. }) => {
+                prop_assert_eq!(c, class);
+                prop_assert!(cycle.iter().any(|ch| ch.class() == class));
+            }
+            ref other => prop_assert!(false, "expected NoEscapeDrain, got {other:?}"),
+        }
+    }
+}

@@ -84,6 +84,15 @@ fn main() {
     let cfg = SimConfig::paper(h2).with_ring(RingMode::Embedded);
     let topo2 = Dragonfly::new(cfg.params);
     let alt_ring = HamiltonianRing::embedded(&topo2, 1);
+    // Certify the *actual* backup ring before trusting it with escape
+    // duty (the default `certify` would only prove ring #0).
+    ofar_core::verify::verify_decl(
+        &topo2,
+        &cfg,
+        &MechanismKind::Ofar.dependency_decl(&cfg),
+        &[ofar_core::verify::RingSpec::from_ring(&topo2, &alt_ring)],
+    )
+    .expect("backup ring must be a spanning bubble-protected cycle");
     let fab = Fabric::with_ring(cfg, Some(alt_ring));
     let mut net = Network::with_fabric(
         fab,

@@ -23,6 +23,7 @@ use ofar_core::traffic::{StencilTraffic, TaskMapping};
 /// Drain `rounds` back-to-back exchange rounds and return the cycles.
 fn run(kind: MechanismKind, mapping: TaskMapping, rounds: usize) -> u64 {
     let cfg = kind.adapt_config(SimConfig::paper(2));
+    certify(&cfg, kind).expect("configuration must be deadlock-free");
     let mut net = Network::new(cfg, kind.build(&cfg, 17));
     let topo = Dragonfly::new(cfg.params);
     let stencil = StencilTraffic::square_2d(&topo, mapping, 23);

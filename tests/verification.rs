@@ -1,0 +1,116 @@
+//! The verification stack end to end: the static CDG verifier certifies
+//! everything the experiments ship, the `core::run` gate refuses what it
+//! rejects, and (under `--features audit`) a full burst runs audit-clean.
+
+use ofar::prelude::*;
+
+/// Every shipped (mechanism × ring mode × ring count) combination at
+/// paper VCs certifies — the verify bin's table, as a regression test.
+#[test]
+fn shipped_configuration_space_certifies() {
+    for h in [2, 3] {
+        for kind in MechanismKind::paper_set() {
+            let base = kind.adapt_config(SimConfig::paper(h));
+            let mut variants = vec![base];
+            if kind.needs_ring() {
+                let mut phys = base;
+                phys.ring = RingMode::Physical;
+                variants.push(phys);
+                for k in 2..=h {
+                    let mut multi = base;
+                    multi.escape_rings = k;
+                    variants.push(multi);
+                }
+            }
+            for cfg in variants {
+                certify(&cfg, kind)
+                    .unwrap_or_else(|e| panic!("{} at h={h}: {e}", kind.name()));
+            }
+        }
+    }
+}
+
+/// Fig. 9's reduced-VC configuration folds the ladder into a cycle:
+/// OFAR still certifies (the ring drains it), the pure ladder does not.
+#[test]
+fn reduced_vcs_split_the_mechanism_set() {
+    let cfg = SimConfig::reduced_vcs(2);
+    certify(&cfg, MechanismKind::Ofar).expect("OFAR survives reduced VCs");
+    certify(&cfg, MechanismKind::OfarL).expect("OFAR-L survives reduced VCs");
+    let mut no_ring = cfg;
+    no_ring.ring = RingMode::None;
+    let err = certify(&no_ring, MechanismKind::Valiant).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::DependencyCycle { mechanism: "VAL", .. }),
+        "expected a named VAL cycle, got {err}"
+    );
+}
+
+/// The runner gate: `core::run` refuses to start a configuration the
+/// verifier rejects, before any cycle is simulated.
+#[test]
+#[should_panic(expected = "refusing to start unverified configuration")]
+fn runners_refuse_unverified_configurations() {
+    let mut cfg = SimConfig::reduced_vcs(2);
+    cfg.ring = RingMode::None; // VAL on a folded ladder with no escape
+    let _ = burst(cfg, MechanismKind::Valiant, &TrafficSpec::uniform(), 1, 7);
+}
+
+/// The certificate's numbers are internally consistent with the
+/// topology they describe.
+#[test]
+fn certificate_counts_match_topology()  {
+    let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(2));
+    let cert = certify(&cfg, MechanismKind::Ofar).expect("certifies");
+    let topo = Dragonfly::new(cfg.params);
+    let nr = topo.num_routers();
+    let (a, h) = (cfg.params.a, cfg.params.h);
+    assert_eq!(cert.routers, nr);
+    assert_eq!(
+        cert.channels,
+        nr * (a - 1) * cfg.vcs_local + nr * h * cfg.vcs_global
+    );
+    assert!(cert.dependencies > cert.channels, "OFAR is densely adaptive");
+    assert_eq!(cert.rings, 1);
+    assert_eq!(
+        cert.bubble_slack,
+        Some(cfg.buf_ring - 2 * cfg.packet_size)
+    );
+}
+
+/// Under `--features audit`, a full burst on every mechanism completes
+/// with zero invariant violations — the always-on auditor agrees with
+/// the static proof.
+#[cfg(feature = "audit")]
+#[test]
+fn audited_bursts_are_clean_for_every_mechanism() {
+    for kind in MechanismKind::paper_set() {
+        let r = burst(
+            SimConfig::paper(2),
+            kind,
+            &TrafficSpec::adversarial(2),
+            3,
+            11,
+        );
+        assert!(r.cycles.is_some(), "{} burst must drain", kind.name());
+        let audit = r.audit.unwrap_or_else(|| panic!("{}: audit missing", kind.name()));
+        assert!(audit.is_clean(), "{}: {audit}", kind.name());
+        assert!(audit.checks > 0);
+    }
+}
+
+/// Without the feature, the audit slot is present but empty — callers
+/// can rely on the field existing either way.
+#[cfg(not(feature = "audit"))]
+#[test]
+fn unaudited_bursts_report_no_audit() {
+    let r = burst(
+        SimConfig::paper(2),
+        MechanismKind::Min,
+        &TrafficSpec::uniform(),
+        1,
+        3,
+    );
+    assert!(r.cycles.is_some());
+    assert!(r.audit.is_none());
+}

@@ -303,7 +303,7 @@ mod tests {
 
         #[test]
         fn ranges_hold(x in 3usize..10, y in 0u8..=4) {
-            prop_assert!(x >= 3 && x < 10);
+            prop_assert!((3..10).contains(&x));
             prop_assert!(y <= 4, "y was {y}");
         }
 
