@@ -18,6 +18,9 @@ fn outcome(p: &DegradationPoint) -> String {
         Some(StallKind::Partition { unreachable_pairs }) => {
             format!("partition ({} pairs)", unreachable_pairs.len())
         }
+        Some(StallKind::RetransmissionStorm { links, retransmits }) => {
+            format!("retx storm ({} links, {retransmits} retries)", links.len())
+        }
         Some(StallKind::Deadlock { stalled_routers }) => {
             format!("deadlock ({} routers)", stalled_routers.len())
         }

@@ -154,6 +154,129 @@ pub fn watchdog_for(cfg: &SimConfig) -> u64 {
     derive_watchdog(cfg)
 }
 
+// ---------------------------------------------------------------------
+// Transient faults: BER sweep over the link-level retransmission layer
+// ---------------------------------------------------------------------
+
+/// One point of a BER sweep: a burst drained over uniformly lossy links,
+/// with the link layer (CRC + seq/ack replay, see `ofar_engine::llr`)
+/// recovering every corrupted or dropped transfer.
+#[derive(Clone, Debug)]
+pub struct BerPoint {
+    /// Routing mechanism.
+    pub mechanism: MechanismKind,
+    /// Per-phit bit-error probability applied to every link.
+    pub ber: f64,
+    /// Delivered packets / injected packets (1.0 = full delivery).
+    pub delivered_fraction: f64,
+    /// Delivered (goodput) throughput over the drain, phits/(node·cycle).
+    /// Retransmitted phits do not count — only unique deliveries.
+    pub throughput: f64,
+    /// Mean packet latency in cycles.
+    pub avg_latency: f64,
+    /// 99th-percentile packet latency in cycles — the retry/backoff tail.
+    pub p99_latency: f64,
+    /// Cycles to drain (`None` if the watchdog fired).
+    pub cycles: Option<u64>,
+    /// Link-level retransmissions over the run.
+    pub retransmits: u64,
+    /// Transfers discarded at a receiver on a CRC mismatch.
+    pub crc_drops: u64,
+    /// Transfers lost outright on the wire.
+    pub wire_drops: u64,
+    /// Links escalated to fail-stop after exhausting the retry budget.
+    pub escalations: u64,
+    /// Packets ejected twice — must be 0 (the link layer dedups).
+    pub duplicate_deliveries: u64,
+    /// Watchdog diagnosis when the burst did not drain.
+    pub stall: Option<StallKind>,
+}
+
+impl BerPoint {
+    /// True when every injected packet was delivered exactly once.
+    pub fn complete(&self) -> bool {
+        (self.delivered_fraction - 1.0).abs() < f64::EPSILON && self.duplicate_deliveries == 0
+    }
+}
+
+/// Run one BER point: a burst of `packets_per_node` per node under
+/// `spec`, every link suffering independent per-phit bit errors with
+/// probability `ber`. A nonzero `ber` auto-enables the link-level
+/// retransmission layer.
+pub fn ber_burst(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    packets_per_node: usize,
+    ber: f64,
+    seed: u64,
+) -> BerPoint {
+    let cfg = cfg.with_ber(ber);
+    let topo = Dragonfly::new(cfg.params);
+    let r = burst_faulted(
+        cfg,
+        kind,
+        spec,
+        packets_per_node,
+        seed,
+        FaultPlan::default(),
+        RunConfig::default(),
+    );
+    let injected = (topo.num_nodes() * packets_per_node) as f64;
+    let throughput = match r.cycles {
+        Some(c) if c > 0 => {
+            (r.delivered * cfg.packet_size as u64) as f64 / (c as f64 * topo.num_nodes() as f64)
+        }
+        _ => 0.0,
+    };
+    BerPoint {
+        mechanism: kind,
+        ber,
+        delivered_fraction: r.delivered as f64 / injected,
+        throughput,
+        avg_latency: r.avg_latency,
+        p99_latency: r.p99_latency,
+        cycles: r.cycles,
+        retransmits: r.stats.llr_retransmits,
+        crc_drops: r.stats.llr_crc_drops,
+        wire_drops: r.stats.llr_wire_drops,
+        escalations: r.stats.llr_escalations,
+        duplicate_deliveries: r.stats.duplicate_deliveries,
+        stall: r.stall,
+    }
+}
+
+/// Full BER sweep: the cross product of `mechanisms` × `bers`, each
+/// point an independent seeded simulation, run in parallel.
+pub fn ber_sweep(
+    cfg: SimConfig,
+    mechanisms: &[MechanismKind],
+    spec: &TrafficSpec,
+    packets_per_node: usize,
+    bers: &[f64],
+    seed: u64,
+) -> Vec<BerPoint> {
+    let mut jobs: Vec<(MechanismKind, f64)> = Vec::new();
+    for &kind in mechanisms {
+        for &b in bers {
+            jobs.push((kind, b));
+        }
+    }
+    jobs.par_iter()
+        .enumerate()
+        .map(|(i, &(kind, ber))| {
+            ber_burst(
+                cfg,
+                kind,
+                spec,
+                packets_per_node,
+                ber,
+                seed.wrapping_add(i as u64 * 7919),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +323,40 @@ mod tests {
         );
         assert_eq!(p.cycles, r.cycles);
         assert_eq!(p.delivered_fraction, 1.0);
+    }
+
+    #[test]
+    fn ofar_delivers_fully_under_percent_level_ber() {
+        let p = ber_burst(
+            SimConfig::paper(2),
+            MechanismKind::Ofar,
+            &TrafficSpec::uniform(),
+            2,
+            1e-2,
+            7,
+        );
+        assert!(p.complete(), "lossy burst must fully drain: {p:?}");
+        assert!(p.retransmits > 0, "1% BER must force retries: {p:?}");
+        assert_eq!(p.escalations, 0);
+        assert_eq!(p.stall, None);
+        // every loss (drop or CRC discard) was recovered by exactly one
+        // retransmission
+        assert_eq!(p.retransmits, p.wire_drops + p.crc_drops);
+    }
+
+    #[test]
+    fn zero_ber_disables_the_link_layer() {
+        let p = ber_burst(
+            SimConfig::paper(2),
+            MechanismKind::Min,
+            &TrafficSpec::uniform(),
+            1,
+            0.0,
+            3,
+        );
+        assert!(p.complete());
+        assert_eq!(p.retransmits, 0);
+        assert_eq!(p.crc_drops + p.wire_drops, 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod table;
 pub mod theory;
 
 pub use experiments::Scale;
-pub use faults::{degradation, degradation_sweep, DegradationPoint};
+pub use faults::{ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint};
 pub use run::{
     burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep, saturation_throughput,
     steady_state, steady_state_tuned, transient,
@@ -56,7 +56,9 @@ pub use ofar_verify as verify;
 /// Everything needed for typical experiments.
 pub mod prelude {
     pub use crate::experiments::{self, Scale};
-    pub use crate::faults::{degradation, degradation_sweep, DegradationPoint};
+    pub use crate::faults::{
+        ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
+    };
     pub use crate::run::{
         burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep,
         saturation_throughput, steady_state, steady_state_tuned, transient,

@@ -1,7 +1,7 @@
 //! Experiment runners: steady state, load sweeps, transients and bursts
 //! (§VI of the paper).
 
-use ofar_engine::{AuditReport, FaultPlan, Network, Policy, SimConfig, StatsWindow};
+use ofar_engine::{AuditReport, FaultPlan, Network, Policy, SimConfig, Stats, StatsWindow};
 use ofar_routing::MechanismKind;
 use ofar_topology::{NodeId, RouterId};
 use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
@@ -286,9 +286,11 @@ pub fn transient(
 
 /// Why a run's progress watchdog fired.
 ///
-/// The watchdog distinguishes three failure modes instead of silently
+/// The watchdog distinguishes four failure modes instead of silently
 /// returning "no progress": a *partition* (failures disconnected some
 /// source–destination pairs — no routing mechanism can finish), a
+/// *retransmission storm* (every link is alive but the error rate is so
+/// high the link layer retries forever and goodput collapses), a
 /// *deadlock* (buffered packets but no allocator grant anywhere for a
 /// whole window) and a *livelock* (grants keep happening — packets move —
 /// but none has been delivered for several windows).
@@ -299,6 +301,18 @@ pub enum StallKind {
     Partition {
         /// Undeliverable `(src, dst)` pairs still in flight.
         unreachable_pairs: Vec<(NodeId, NodeId)>,
+    },
+    /// The topology is connected and the link layer keeps retrying, but
+    /// goodput is (near) zero: retransmissions climb while nothing is
+    /// delivered. Distinct from deadlock (the wires are busy) and from
+    /// livelock (packets are not circulating — they are stuck replaying
+    /// the same hops).
+    RetransmissionStorm {
+        /// The worst offending directed links as
+        /// `(sender, receiver, retransmissions)`, most retried first.
+        links: Vec<(RouterId, RouterId, u64)>,
+        /// Total link-level retransmissions when the watchdog fired.
+        retransmits: u64,
     },
     /// No router granted any output for a whole watchdog window while
     /// packets remain buffered.
@@ -313,6 +327,11 @@ pub enum StallKind {
         stalled_routers: Vec<RouterId>,
     },
 }
+
+/// Retransmissions since the last delivery above which a stalled run is
+/// diagnosed as a [`StallKind::RetransmissionStorm`]: enough retries that
+/// a handful of unlucky transfers cannot explain them.
+const STORM_RETX_THRESHOLD: u64 = 64;
 
 /// Knobs of the burst runner that are about the *runner*, not the
 /// simulated hardware.
@@ -354,10 +373,16 @@ pub struct BurstResult {
     pub delivered: u64,
     /// Mean latency over the burst.
     pub avg_latency: f64,
+    /// 99th-percentile latency over the delivered packets (0 when
+    /// nothing was delivered).
+    pub p99_latency: f64,
     /// Escape-ring entries over the whole burst.
     pub ring_entries: u64,
     /// Why the watchdog fired (`None` when the burst drained).
     pub stall: Option<StallKind>,
+    /// Full engine counters at the end of the run — delivery accounting,
+    /// fault transitions and the LLR retry/drop/escalation counters.
+    pub stats: Stats,
     /// Runtime invariant audit over the burst. Populated when the crate
     /// is built with the `audit` feature, `None` otherwise.
     pub audit: Option<AuditReport>,
@@ -402,6 +427,7 @@ pub fn burst_faulted(
     let mut net = Network::new(cfg, kind.build(&cfg, seed));
     #[cfg(feature = "audit")]
     net.enable_audit();
+    net.enable_delivery_log();
     net.set_fault_plan(plan);
     let topo = *net.fabric().topo();
     let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
@@ -416,12 +442,14 @@ pub fn burst_faulted(
     let watchdog = run.watchdog.unwrap_or_else(|| derive_watchdog(&cfg));
     let mut last_delivered = 0u64;
     let mut last_delivery_at = 0u64;
+    let mut retx_at_last_delivery = 0u64;
     while !net.drained() {
         net.step();
         let delivered = net.stats().delivered_packets;
         if delivered > last_delivered {
             last_delivered = delivered;
             last_delivery_at = net.now();
+            retx_at_last_delivery = net.stats().llr_retransmits;
         }
         // Two triggers: a dead network (no grants at all), or a busy one
         // that stopped delivering — livelock takes longer to call because
@@ -429,13 +457,16 @@ pub fn burst_faulted(
         let no_grant = net.now() - net.stats().last_grant > watchdog;
         let no_delivery = net.now() - last_delivery_at > 4 * watchdog;
         if no_grant || no_delivery {
-            let stall = diagnose_stall(&net, watchdog, no_grant);
+            let retx_since = net.stats().llr_retransmits - retx_at_last_delivery;
+            let stall = diagnose_stall(&net, watchdog, no_grant, retx_since);
             return BurstResult {
                 cycles: None,
                 delivered,
                 avg_latency: net.stats().avg_latency(),
+                p99_latency: p99_of(net.take_delivery_log()),
                 ring_entries: net.stats().ring_entries,
                 stall: Some(stall),
+                stats: net.stats().clone(),
                 audit: final_audit(&mut net),
             };
         }
@@ -444,10 +475,23 @@ pub fn burst_faulted(
         cycles: Some(net.now()),
         delivered: net.stats().delivered_packets,
         avg_latency: net.stats().avg_latency(),
+        p99_latency: p99_of(net.take_delivery_log()),
         ring_entries: net.stats().ring_entries,
         stall: None,
+        stats: net.stats().clone(),
         audit: final_audit(&mut net),
     }
+}
+
+/// 99th-percentile latency of a delivery log (`(injected_at, latency)`
+/// pairs); 0 when empty.
+fn p99_of(log: Vec<(u64, u32)>) -> f64 {
+    let mut lat: Vec<u32> = log.into_iter().map(|(_, l)| l).collect();
+    if lat.is_empty() {
+        return 0.0;
+    }
+    lat.sort_unstable();
+    lat[(lat.len() - 1) * 99 / 100] as f64
 }
 
 /// Take the burst's audit report (includes a forced final deep pass).
@@ -464,12 +508,25 @@ fn final_audit<P: Policy>(_net: &mut Network<P>) -> Option<AuditReport> {
 
 /// Classify a fired watchdog. Partition wins (it explains the others and
 /// is definitive — connectivity is a property of the topology, not of
-/// the schedule); otherwise a silent allocator means deadlock and a busy
-/// one livelock.
-fn diagnose_stall<P: Policy>(net: &Network<P>, watchdog: u64, no_grant: bool) -> StallKind {
+/// the schedule). A retransmission storm is called next: the links are
+/// alive but the link layer burned `retx_since` retries since the last
+/// delivery, so the allocator's silence is a symptom, not the disease.
+/// Otherwise a silent allocator means deadlock and a busy one livelock.
+fn diagnose_stall<P: Policy>(
+    net: &Network<P>,
+    watchdog: u64,
+    no_grant: bool,
+    retx_since: u64,
+) -> StallKind {
     let unreachable_pairs = net.unreachable_pairs();
     if !unreachable_pairs.is_empty() {
         return StallKind::Partition { unreachable_pairs };
+    }
+    if net.llr_enabled() && retx_since >= STORM_RETX_THRESHOLD {
+        return StallKind::RetransmissionStorm {
+            links: net.top_retransmit_links(8),
+            retransmits: net.stats().llr_retransmits,
+        };
     }
     let stalled_routers = net.stalled_routers(watchdog);
     if no_grant {

@@ -155,6 +155,33 @@ pub enum AuditViolation {
         /// Minimum free phits the bubble condition requires.
         required: u64,
     },
+    /// A packet was ejected to its node more than once. The link-level
+    /// retransmission layer must deduplicate spurious retransmissions at
+    /// the receiver, so a second ejection of the same id means the
+    /// seq/ack protocol leaked a duplicate end to end.
+    DuplicateDelivery {
+        /// Cycle of the second ejection.
+        cycle: u64,
+        /// Ejecting router.
+        router: u32,
+        /// Packet id delivered twice.
+        packet: u64,
+    },
+    /// A sender replay buffer holds more entries than the configured
+    /// window. Grants to an output are supposed to be gated on replay
+    /// room, so this means the window check was bypassed.
+    ReplayOverflow {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Router owning the output port.
+        router: u32,
+        /// Output port index.
+        port: u16,
+        /// Entries in the replay buffer.
+        occupancy: u32,
+        /// Configured window, in packets.
+        window: u32,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -202,6 +229,15 @@ impl fmt::Display for AuditViolation {
                 f,
                 "cycle {cycle}: ring {ring} bubble lost: {free_phits} free phits \
                  < {required} required"
+            ),
+            Self::DuplicateDelivery { cycle, router, packet } => write!(
+                f,
+                "cycle {cycle}: packet {packet} delivered twice (second ejection at R{router})"
+            ),
+            Self::ReplayOverflow { cycle, router, port, occupancy, window } => write!(
+                f,
+                "cycle {cycle}: replay buffer at R{router} out {port} holds \
+                 {occupancy} entries > window {window}"
             ),
         }
     }

@@ -61,6 +61,23 @@ pub enum ConfigError {
         /// Configured `vcs_local`.
         vcs_local: usize,
     },
+    /// `ber` outside `[0, 1)` — a per-phit error probability of 1 or more
+    /// can never deliver anything. (No payload: the offending `f64` would
+    /// cost this enum its `Eq`.)
+    BerOutOfRange,
+    /// `llr_window` outside `1..=64` (the receiver tracks acceptance in a
+    /// 64-bit selective-repeat bitmap).
+    LlrWindowOutOfRange {
+        /// Configured window, in packets.
+        window: usize,
+    },
+    /// `llr_retry_budget == 0`: the link would escalate to fail-stop on
+    /// its first wire error.
+    ZeroLlrRetryBudget,
+    /// `llr_timeout_slack == 0`: a retransmit timeout of exactly one
+    /// round trip fires before the ack can possibly arrive, guaranteeing
+    /// spurious retransmissions.
+    ZeroLlrTimeoutSlack,
 }
 
 impl fmt::Display for ConfigError {
@@ -93,6 +110,18 @@ impl fmt::Display for ConfigError {
             Self::EmbeddedRingTooFewVcs { vcs_local } => write!(
                 f,
                 "an embedded escape ring needs vcs_local >= 2 (got {vcs_local})"
+            ),
+            Self::BerOutOfRange => write!(f, "ber must lie in [0, 1)"),
+            Self::LlrWindowOutOfRange { window } => write!(
+                f,
+                "llr_window ({window}) must lie in 1..=64 (selective-repeat bitmap width)"
+            ),
+            Self::ZeroLlrRetryBudget => {
+                write!(f, "llr_retry_budget must be positive (0 escalates on first error)")
+            }
+            Self::ZeroLlrTimeoutSlack => write!(
+                f,
+                "llr_timeout_slack must be positive (a bare round-trip timeout is always spurious)"
             ),
         }
     }
@@ -156,6 +185,23 @@ pub struct SimConfig {
     /// RNG seed (packet destinations are chosen by the traffic layer; the
     /// engine RNG covers allocator and misroute tie-breaking).
     pub seed: u64,
+    /// Per-phit Bernoulli bit-error rate of every network link, in
+    /// `[0, 1)`. Nonzero enables the link-level retransmission layer;
+    /// per-link overrides via [`crate::fault::FaultKind::SetLinkBer`].
+    pub ber: f64,
+    /// Sender replay-buffer depth per link, in packets (`1..=64`; the
+    /// receiver tracks acceptance in a 64-bit selective-repeat bitmap).
+    pub llr_window: usize,
+    /// Extra cycles beyond one round trip before a retransmit timeout
+    /// fires. Must exceed ack turnaround jitter (one allocator pass) or
+    /// every timeout is spurious and produces duplicate transmissions.
+    pub llr_timeout_slack: u64,
+    /// Backoff cap: the timeout doubles per retry up to a factor of
+    /// `2^llr_backoff_cap`.
+    pub llr_backoff_cap: u32,
+    /// Retries allowed per packet before the link is declared
+    /// persistently failing and escalated to the §VII fail-stop path.
+    pub llr_retry_budget: u32,
 }
 
 impl SimConfig {
@@ -180,6 +226,11 @@ impl SimConfig {
             max_ring_exits: 4,
             escape_rings: 1,
             seed: 0xD5A6_0F17,
+            ber: 0.0,
+            llr_window: 8,
+            llr_timeout_slack: 64,
+            llr_backoff_cap: 6,
+            llr_retry_budget: 16,
         }
     }
 
@@ -204,6 +255,12 @@ impl SimConfig {
     /// Override the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the per-phit bit-error rate (nonzero enables LLR).
+    pub fn with_ber(mut self, ber: f64) -> Self {
+        self.ber = ber;
         self
     }
 
@@ -269,6 +326,18 @@ impl SimConfig {
                 });
             }
         }
+        if !(0.0..1.0).contains(&self.ber) {
+            return Err(ConfigError::BerOutOfRange);
+        }
+        if self.llr_window == 0 || self.llr_window > 64 {
+            return Err(ConfigError::LlrWindowOutOfRange { window: self.llr_window });
+        }
+        if self.llr_retry_budget == 0 {
+            return Err(ConfigError::ZeroLlrRetryBudget);
+        }
+        if self.llr_timeout_slack == 0 {
+            return Err(ConfigError::ZeroLlrTimeoutSlack);
+        }
         Ok(())
     }
 }
@@ -331,6 +400,30 @@ mod tests {
         let mut c = SimConfig::paper(2).with_ring(RingMode::Embedded);
         c.escape_rings = 5;
         assert_eq!(c.validate().unwrap_err(), ConfigError::TooManyRings { requested: 5, h: 2 });
+    }
+
+    #[test]
+    fn validation_rejects_bad_llr_parameters() {
+        let mut c = SimConfig::paper(2);
+        c.ber = 1.0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::BerOutOfRange);
+        c.ber = -0.1;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::BerOutOfRange);
+        c.ber = 0.1;
+        c.validate().unwrap();
+
+        c.llr_window = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::LlrWindowOutOfRange { window: 0 });
+        c.llr_window = 65;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::LlrWindowOutOfRange { window: 65 });
+        c.llr_window = 64;
+        c.validate().unwrap();
+
+        c.llr_retry_budget = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroLlrRetryBudget);
+        c.llr_retry_budget = 1;
+        c.llr_timeout_slack = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroLlrTimeoutSlack);
     }
 
     #[test]

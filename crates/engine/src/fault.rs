@@ -20,7 +20,7 @@
 
 use crate::fabric::{Fabric, PortKind};
 use ofar_topology::{Dragonfly, HamiltonianRing, RouterId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One kind of fault transition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +33,32 @@ pub enum FaultKind {
     FailRouter(RouterId),
     /// Restore a previously failed router.
     RestoreRouter(RouterId),
+    /// Transient: corrupt the payload of the *next* transfer crossing the
+    /// link (either direction) — CRC-detected at the receiver, nacked and
+    /// retransmitted by the LLR layer. One-shot; the link stays up.
+    CorruptPhit(RouterId, RouterId),
+    /// Transient: drop the *next* transfer crossing the link (either
+    /// direction) on the wire — recovered by the LLR retransmit timeout.
+    /// One-shot; the link stays up.
+    DropPhit(RouterId, RouterId),
+    /// Set a per-link Bernoulli bit-error-rate override, in parts per
+    /// million per phit (`1_000_000` = every phit errors). Overrides
+    /// [`crate::config::SimConfig::ber`] for this link until changed;
+    /// ppm keeps the variant `Eq`/hashable where an `f64` payload could
+    /// not be. `0` removes the override.
+    SetLinkBer(RouterId, RouterId, u32),
+}
+
+impl FaultKind {
+    /// Whether this kind needs the link-level retransmission layer (it
+    /// models a wire error rather than a fail-stop transition).
+    #[inline]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Self::CorruptPhit(..) | Self::DropPhit(..) | Self::SetLinkBer(..)
+        )
+    }
 }
 
 /// A scheduled fault transition.
@@ -88,6 +114,55 @@ impl FaultPlan {
     /// `at + down_for`.
     pub fn transient_link(self, at: u64, down_for: u64, a: RouterId, b: RouterId) -> Self {
         self.fail_link_at(at, a, b).restore_link_at(at + down_for, a, b)
+    }
+
+    /// Schedule a one-shot payload corruption of the next transfer
+    /// crossing the `a`–`b` link at or after cycle `at`.
+    pub fn corrupt_phit_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::CorruptPhit(a, b) });
+        self
+    }
+
+    /// Schedule a one-shot wire drop of the next transfer crossing the
+    /// `a`–`b` link at or after cycle `at`.
+    pub fn drop_phit_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::DropPhit(a, b) });
+        self
+    }
+
+    /// Schedule a per-link BER override (parts per million per phit) on
+    /// the `a`–`b` link from cycle `at`. `ppm = 0` clears the override.
+    pub fn set_link_ber_at(mut self, at: u64, a: RouterId, b: RouterId, ppm: u32) -> Self {
+        self.push(FaultEvent { at, kind: FaultKind::SetLinkBer(a, b, ppm) });
+        self
+    }
+
+    /// Schedule a flapping link (a failing SerDes): `count` down/up
+    /// cycles of the `a`–`b` link, first going down at `first_down`,
+    /// staying down `down_for` cycles, repeating every `period` cycles.
+    /// Composes with the fail-stop machinery — each flap is a
+    /// `FailLink`/`RestoreLink` pair, so degraded routing kicks in while
+    /// the link is down and the restore path heals it.
+    pub fn flap_link(
+        mut self,
+        a: RouterId,
+        b: RouterId,
+        first_down: u64,
+        down_for: u64,
+        period: u64,
+        count: usize,
+    ) -> Self {
+        assert!(down_for < period, "flap must come back up within its period");
+        for i in 0..count as u64 {
+            let at = first_down + i * period;
+            self = self.transient_link(at, down_for, a, b);
+        }
+        self
+    }
+
+    /// True when any event models a wire error (needs the LLR layer).
+    pub fn has_transient(&self) -> bool {
+        self.events.iter().any(|e| e.kind.is_transient())
     }
 
     /// Schedule `n` distinct random global-link failures at cycle `at`,
@@ -159,7 +234,16 @@ pub struct FaultState {
     failed_routers: HashSet<RouterId>,
     n_out: usize,
     /// Fast path: true when nothing has ever failed (or all is restored).
+    /// Transient wire-error state deliberately does NOT clear this — a
+    /// lossy link is still *routable*, so the allocator's zero-fault fast
+    /// path stays valid.
     healthy: bool,
+    /// Pending one-shot payload corruptions, per canonical link pair.
+    pending_corrupt: HashMap<(RouterId, RouterId), u32>,
+    /// Pending one-shot wire drops, per canonical link pair.
+    pending_drop: HashMap<(RouterId, RouterId), u32>,
+    /// Per-link BER overrides in ppm per phit, canonical link pairs.
+    link_ber_ppm: HashMap<(RouterId, RouterId), u32>,
 }
 
 impl FaultState {
@@ -173,6 +257,9 @@ impl FaultState {
             failed_routers: HashSet::new(),
             n_out: fab.n_out(),
             healthy: true,
+            pending_corrupt: HashMap::new(),
+            pending_drop: HashMap::new(),
+            link_ber_ppm: HashMap::new(),
         }
     }
 
@@ -218,18 +305,74 @@ impl FaultState {
     }
 
     /// Apply one fault transition. Returns true if the fault set changed
-    /// (a duplicate failure or redundant restore returns false).
+    /// (a duplicate failure or redundant restore returns false; transient
+    /// one-shots always register and always return false — they do not
+    /// alter the fail-stop liveness state).
     pub fn apply(&mut self, kind: FaultKind, fab: &Fabric) -> bool {
         let changed = match kind {
             FaultKind::FailLink(a, b) => self.failed_links.insert(canon(a, b)),
             FaultKind::RestoreLink(a, b) => self.failed_links.remove(&canon(a, b)),
             FaultKind::FailRouter(r) => self.failed_routers.insert(r),
             FaultKind::RestoreRouter(r) => self.failed_routers.remove(&r),
+            FaultKind::CorruptPhit(a, b) => {
+                *self.pending_corrupt.entry(canon(a, b)).or_insert(0) += 1;
+                false
+            }
+            FaultKind::DropPhit(a, b) => {
+                *self.pending_drop.entry(canon(a, b)).or_insert(0) += 1;
+                false
+            }
+            FaultKind::SetLinkBer(a, b, ppm) => {
+                if ppm == 0 {
+                    self.link_ber_ppm.remove(&canon(a, b));
+                } else {
+                    self.link_ber_ppm.insert(canon(a, b), ppm);
+                }
+                false
+            }
         };
         if changed {
             self.recompute(fab);
         }
         changed
+    }
+
+    /// Effective per-phit error probability of the `a`–`b` link: the
+    /// per-link override when one is set, else the global `default_ber`.
+    #[inline]
+    pub fn link_ber(&self, a: RouterId, b: RouterId, default_ber: f64) -> f64 {
+        match self.link_ber_ppm.get(&canon(a, b)) {
+            Some(&ppm) => f64::from(ppm) / 1e6,
+            None => default_ber,
+        }
+    }
+
+    /// Consume a pending one-shot wire fault on the `a`–`b` link, if any.
+    /// Drops take precedence over corruptions (a lost header phit hides
+    /// any payload damage).
+    pub fn take_pending(&mut self, a: RouterId, b: RouterId) -> Option<crate::llr::Fate> {
+        let key = canon(a, b);
+        for (map, fate) in [
+            (&mut self.pending_drop, crate::llr::Fate::Drop),
+            (&mut self.pending_corrupt, crate::llr::Fate::Corrupt),
+        ] {
+            if let Some(n) = map.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&key);
+                }
+                return Some(fate);
+            }
+        }
+        None
+    }
+
+    /// True when any transient wire-error state is active (pending
+    /// one-shots or BER overrides).
+    pub fn any_transient(&self) -> bool {
+        !self.pending_corrupt.is_empty()
+            || !self.pending_drop.is_empty()
+            || !self.link_ber_ppm.is_empty()
     }
 
     /// Rebuild the derived per-port and per-ring liveness from the fault
@@ -355,6 +498,47 @@ mod tests {
         assert_eq!(set.len(), 5, "picks must be distinct");
         let c = random_global_links(&topo, 5, 43);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn transient_kinds_do_not_flip_the_healthy_fast_path() {
+        let f = fab();
+        let mut s = FaultState::new(&f);
+        let (a, b) = (RouterId::new(0), f.topo().local_neighbor(RouterId::new(0), 0));
+        assert!(!s.apply(FaultKind::CorruptPhit(a, b), &f));
+        assert!(!s.apply(FaultKind::SetLinkBer(a, b, 1000), &f));
+        assert!(!s.any(), "transient faults must keep the fail-stop fast path");
+        assert!(s.any_transient());
+        assert!(s.link_up(a.idx(), f.local_out(0)));
+        assert!((s.link_ber(b, a, 0.0) - 1e-3).abs() < 1e-12, "canonical pair, either order");
+        assert!((s.link_ber(a, RouterId::new(99), 0.5) - 0.5).abs() < 1e-12);
+        assert!(!s.apply(FaultKind::SetLinkBer(a, b, 0), &f));
+        assert_eq!(s.link_ber(a, b, 0.25), 0.25, "ppm 0 clears the override");
+    }
+
+    #[test]
+    fn pending_one_shots_are_consumed_drop_first() {
+        let f = fab();
+        let mut s = FaultState::new(&f);
+        let (a, b) = (RouterId::new(0), f.topo().local_neighbor(RouterId::new(0), 0));
+        s.apply(FaultKind::CorruptPhit(a, b), &f);
+        s.apply(FaultKind::DropPhit(b, a), &f);
+        assert_eq!(s.take_pending(b, a), Some(crate::llr::Fate::Drop));
+        assert_eq!(s.take_pending(a, b), Some(crate::llr::Fate::Corrupt));
+        assert_eq!(s.take_pending(a, b), None);
+        assert!(!s.any_transient());
+    }
+
+    #[test]
+    fn flap_link_composes_fail_restore_pairs() {
+        let p = FaultPlan::new().flap_link(RouterId::new(0), RouterId::new(1), 100, 20, 50, 3);
+        let times: Vec<u64> = p.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![100, 120, 150, 170, 200, 220]);
+        assert!(matches!(p.events()[0].kind, FaultKind::FailLink(..)));
+        assert!(matches!(p.events()[1].kind, FaultKind::RestoreLink(..)));
+        assert!(!p.has_transient(), "flaps are fail-stop transitions");
+        let q = FaultPlan::new().drop_phit_at(5, RouterId::new(0), RouterId::new(1));
+        assert!(q.has_transient());
     }
 
     #[test]

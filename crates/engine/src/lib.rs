@@ -10,7 +10,11 @@
 //!   least-recently-served arbiters, after Gupta & McKeown;
 //! * per-cycle re-evaluated routing decisions at every input VC head;
 //! * optional **escape subnetwork** — a physical or embedded Hamiltonian
-//!   ring with bubble flow control and restricted injection (§IV-C).
+//!   ring with bubble flow control and restricted injection (§IV-C);
+//! * optional **link-level retransmission** over lossy links — CRC-32,
+//!   sequence/ack replay, timeout with exponential backoff, and
+//!   escalation of persistently-failing links to the §VII fail-stop
+//!   machinery (see the [`llr`] module).
 //!
 //! The engine is routing-agnostic: mechanisms implement the
 //! [`policy::Policy`] trait (see the `ofar-routing` crate for MIN,
@@ -27,6 +31,7 @@ pub mod buffer;
 pub mod config;
 pub mod fabric;
 pub mod fault;
+pub mod llr;
 pub mod network;
 pub mod packet;
 pub mod policy;
@@ -37,6 +42,7 @@ pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use config::{ConfigError, RingMode, SimConfig};
 pub use fabric::{EscapeOut, Fabric, InDesc, OutLink, PortKind};
 pub use fault::{random_global_links, FaultEvent, FaultKind, FaultPlan, FaultState};
+pub use llr::{crc32, Fate, Llr, RxVerdict};
 pub use network::Network;
 pub use packet::{
     Packet, Request, RequestKind, FLAG_AUX, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,

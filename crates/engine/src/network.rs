@@ -13,6 +13,7 @@
 use crate::config::SimConfig;
 use crate::fabric::{Fabric, PortKind};
 use crate::fault::{FaultKind, FaultPlan, FaultState};
+use crate::llr::{Fate, Llr, RxVerdict};
 use crate::packet::{
     Packet, Request, RequestKind, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED, FLAG_ON_RING,
 };
@@ -70,6 +71,10 @@ pub struct Network<P: Policy> {
     faults_ever: bool,
     /// Cycle of the last grant at each router (stall diagnosis).
     router_last_grant: Vec<u64>,
+    /// Link-level retransmission state; `None` keeps the lossless fast
+    /// path (see [`crate::llr`]). Enabled by a nonzero `cfg.ber`, a
+    /// transient fault plan, or [`Self::enable_llr`].
+    llr: Option<Llr>,
     /// Runtime invariant auditor; `None` until [`Self::enable_audit`].
     #[cfg(feature = "audit")]
     auditor: Option<crate::audit::Auditor>,
@@ -104,6 +109,7 @@ impl<P: Policy> Network<P> {
             .collect();
         let n_in = fab.n_in();
         let n_out = fab.n_out();
+        let llr = (fab.cfg().ber > 0.0).then(|| Llr::new(&fab, fab.cfg().seed));
         Self {
             routers,
             policy,
@@ -119,6 +125,7 @@ impl<P: Policy> Network<P> {
             plan_cursor: 0,
             faults_ever: false,
             router_last_grant: vec![0; nr],
+            llr,
             #[cfg(feature = "audit")]
             auditor: None,
             effects: Vec::with_capacity(256),
@@ -217,6 +224,73 @@ impl<P: Policy> Network<P> {
             .unwrap_or(0)
     }
 
+    // ----- link-level retransmission ------------------------------------
+
+    /// Enable the link-level retransmission layer (see [`crate::llr`]):
+    /// every network link gets a replay buffer, CRC/sequence checking and
+    /// ack/nack recovery. Automatic when `cfg.ber > 0` or the fault plan
+    /// contains transient wire-error events; call it explicitly to run a
+    /// lossless network through the reliable-delivery machinery. Must be
+    /// enabled before any packet is in flight (link arrivals already on
+    /// the wire would have no sequence metadata).
+    pub fn enable_llr(&mut self) {
+        if self.llr.is_some() {
+            return;
+        }
+        assert!(
+            self.routers.iter().all(|r| r.inputs.iter().all(|i| i.arrivals.is_empty())),
+            "LLR must be enabled before packets are on the wire"
+        );
+        self.llr = Some(Llr::new(&self.fab, self.fab.cfg().seed));
+    }
+
+    /// Whether the link-level retransmission layer is active.
+    #[inline]
+    pub fn llr_enabled(&self) -> bool {
+        self.llr.is_some()
+    }
+
+    /// Retransmissions issued on the directed link out of (`router`,
+    /// output `port`) — the raw data of the per-link retry histogram.
+    /// 0 when LLR is off.
+    pub fn link_retransmits(&self, router: RouterId, port: usize) -> u64 {
+        self.llr
+            .as_ref()
+            .map(|l| l.link_retransmits(router.idx(), port))
+            .unwrap_or(0)
+    }
+
+    /// Replay-buffer occupancy (packets awaiting ack) of (`router`,
+    /// output `port`). 0 when LLR is off.
+    pub fn replay_occupancy(&self, router: RouterId, port: usize) -> usize {
+        self.llr
+            .as_ref()
+            .map(|l| l.tx_occupancy(router.idx(), port))
+            .unwrap_or(0)
+    }
+
+    /// The `k` directed links with the most retransmissions, as
+    /// `(src router, dst router, retransmits)`, most-retried first —
+    /// the storm diagnosis names these. Links with zero retries are
+    /// omitted; empty when LLR is off.
+    pub fn top_retransmit_links(&self, k: usize) -> Vec<(RouterId, RouterId, u64)> {
+        let Some(llr) = &self.llr else { return Vec::new() };
+        let mut all: Vec<(RouterId, RouterId, u64)> = Vec::new();
+        for r in 0..self.routers.len() {
+            let rid = RouterId::from(r);
+            for port in 0..self.fab.n_out() {
+                let n = llr.link_retransmits(r, port);
+                if n > 0 {
+                    let link = self.fab.out_link(rid, port);
+                    all.push((rid, RouterId::new(link.dst_router), n));
+                }
+            }
+        }
+        all.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
     // ----- runtime invariant auditing (feature `audit`) -----------------
 
     /// Start auditing runtime invariants with the default deep-check
@@ -260,8 +334,12 @@ impl<P: Policy> Network<P> {
 
     /// Install a deterministic fault schedule. Events are applied at the
     /// top of the `step` for their cycle; events already in the past
-    /// apply on the next step. Replaces any previous plan.
+    /// apply on the next step. Replaces any previous plan. A plan with
+    /// transient wire-error events enables the LLR layer.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if plan.has_transient() {
+            self.enable_llr();
+        }
         self.plan = plan;
         self.plan_cursor = 0;
     }
@@ -300,14 +378,82 @@ impl<P: Policy> Network<P> {
         let changed = self.faults.apply(kind, &self.fab);
         if changed {
             self.faults_ever = true;
+            // One count per effective transition: a link restored and
+            // re-failed in the same cycle registers once on each counter,
+            // while redundant transitions (apply returned false) never
+            // count.
             match kind {
                 FaultKind::FailLink(..) => self.stats.link_failures += 1,
                 FaultKind::RestoreLink(..) => self.stats.link_repairs += 1,
                 FaultKind::FailRouter(..) => self.stats.router_failures += 1,
-                FaultKind::RestoreRouter(..) => {}
+                FaultKind::RestoreRouter(..) => self.stats.router_repairs += 1,
+                // Transient kinds never change the fail-stop liveness
+                // state, so apply() returns false for them.
+                FaultKind::CorruptPhit(..)
+                | FaultKind::DropPhit(..)
+                | FaultKind::SetLinkBer(..) => unreachable!(),
             }
+            // Fail-stop semantics under LLR: transfers already started
+            // complete. A replay entry the receiver has not accepted IS
+            // the canonical in-progress transfer of its packet, so a
+            // failing link force-delivers them into the (credit-reserved)
+            // downstream buffers before the allocator stops serving it.
+            if matches!(kind, FaultKind::FailLink(..) | FaultKind::FailRouter(..))
+                && self.llr.is_some()
+            {
+                self.llr_flush_dead_links();
+            }
+        } else if kind.is_transient() {
+            // One-shots and BER overrides registered inside FaultState;
+            // they need the LLR layer to mean anything.
+            debug_assert!(self.llr.is_some(), "transient fault without LLR enabled");
         }
         changed
+    }
+
+    /// Force-deliver the undelivered replay entries of every LLR link
+    /// whose fail-stop liveness just went down (both directions — the
+    /// sweep is idempotent: already-flushed links have empty buffers).
+    fn llr_flush_dead_links(&mut self) {
+        let size = self.fab.cfg().packet_size as u32;
+        let topo = *self.fab.topo();
+        for ridx in 0..self.routers.len() {
+            let rid = RouterId::from(ridx);
+            for port in 0..self.fab.n_out() {
+                let link = *self.fab.out_link(rid, port);
+                if link.kind == PortKind::Node
+                    || self.faults.topo_link_up(rid, RouterId::new(link.dst_router))
+                {
+                    continue;
+                }
+                let llr = self.llr.as_mut().expect("caller checked");
+                if llr.tx_occupancy(ridx, port) == 0 {
+                    continue;
+                }
+                let forced = llr.take_undelivered(
+                    ridx,
+                    port,
+                    link.dst_router as usize,
+                    link.dst_port as usize,
+                );
+                let dst = &mut self.routers[link.dst_router as usize];
+                let g = topo.group_of(RouterId::new(link.dst_router));
+                for e in forced {
+                    let mut pkt = e.pkt;
+                    // Same landing bookkeeping as `deliver_events`.
+                    if pkt.cur_group != g {
+                        pkt.cur_group = g;
+                        pkt.clear(FLAG_LOCAL_MISROUTED);
+                        if pkt.intermediate == Some(g) {
+                            pkt.intermediate = None;
+                        }
+                    }
+                    // The credit held since first transmission reserves
+                    // this space, so the push cannot overflow.
+                    dst.inputs[link.dst_port as usize].vcs[e.out_vc as usize].push(pkt, size);
+                }
+            }
+        }
     }
 
     /// Routers holding buffered packets that have not granted anything
@@ -436,6 +582,9 @@ impl<P: Policy> Network<P> {
             self.apply_fault(kind);
         }
         self.deliver_events(now);
+        if self.llr.is_some() {
+            self.llr_phase(now);
+        }
         self.inject(now);
         for r in 0..self.routers.len() {
             self.route_and_allocate(r, now);
@@ -464,18 +613,46 @@ impl<P: Policy> Network<P> {
     fn deliver_events(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let topo = *self.fab.topo();
+        let fab = &self.fab;
+        let llr = &mut self.llr;
+        let stats = &mut self.stats;
         #[cfg(feature = "audit")]
         let auditor = &mut self.auditor;
         for (ridx, router) in self.routers.iter_mut().enumerate() {
             let g = topo.group_of(RouterId::from(ridx));
-            // (the index feeds the auditor's diagnostics; unused otherwise)
-            #[cfg_attr(not(feature = "audit"), allow(clippy::unused_enumerate_index))]
-            for (_port, input) in router.inputs.iter_mut().enumerate() {
+            for (port, input) in router.inputs.iter_mut().enumerate() {
                 while let Some(&(at, vc, _)) = input.arrivals.front() {
                     if at > now {
                         break;
                     }
                     let (_, _, mut pkt) = input.arrivals.pop_front().unwrap();
+                    // Link-level CRC/sequence check: a corrupted transfer
+                    // is discarded and nacked, a duplicate discarded and
+                    // re-acked, a good one accepted and acked. Acks ride
+                    // the credit-return path (same latency, never lost).
+                    if let Some(l) = llr.as_mut() {
+                        let desc = fab.in_desc(RouterId::from(ridx), port);
+                        if desc.up_router != u32::MAX {
+                            let (verdict, seq) = l.receive(ridx, port, &pkt);
+                            let ack_at = now + u64::from(desc.latency);
+                            let (up_r, up_p) = (desc.up_router as usize, desc.up_port as usize);
+                            match verdict {
+                                RxVerdict::Accept => l.push_ack(up_r, up_p, seq, true, ack_at),
+                                RxVerdict::CrcDrop => {
+                                    stats.llr_crc_drops += 1;
+                                    l.push_ack(up_r, up_p, seq, false, ack_at);
+                                    continue;
+                                }
+                                RxVerdict::Duplicate => {
+                                    stats.llr_dup_drops += 1;
+                                    // Re-ack: the sender may have timed
+                                    // out before the first ack landed.
+                                    l.push_ack(up_r, up_p, seq, true, ack_at);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     if pkt.cur_group != g {
                         pkt.cur_group = g;
                         pkt.clear(FLAG_LOCAL_MISROUTED);
@@ -494,7 +671,7 @@ impl<P: Policy> Network<P> {
                             a.record(crate::audit::AuditViolation::BufferOverflow {
                                 cycle: now,
                                 router: ridx as u32,
-                                port: _port as u16,
+                                port: port as u16,
                                 vc,
                                 occupancy: fifo.occupancy(),
                                 capacity: fifo.capacity(),
@@ -612,8 +789,16 @@ impl<P: Policy> Network<P> {
                     if let Some(req) = self.policy.route(&view, ctx, pkt) {
                         // A dead output is never allocated, whatever the
                         // policy asked for (defence in depth — fault-
-                        // aware policies already avoid dead ports).
-                        if view.link_up(req.out_port as usize) {
+                        // aware policies already avoid dead ports). An
+                        // output whose replay buffer is full is likewise
+                        // skipped: the sender must retain every
+                        // unacknowledged packet.
+                        if view.link_up(req.out_port as usize)
+                            && self
+                                .llr
+                                .as_ref()
+                                .is_none_or(|l| l.tx_has_room(ridx, req.out_port as usize))
+                        {
                             self.reqs.push((port as u16, vc as u8, req));
                         }
                     }
@@ -823,13 +1008,46 @@ impl<P: Policy> Network<P> {
                 }
                 let out = &self.routers[ridx].outputs[port];
                 let din = &self.routers[link.dst_router as usize].inputs[link.dst_port as usize];
+                // Replay-buffer occupancy must respect the window the
+                // allocator gates grants on.
+                if let Some(l) = &self.llr {
+                    checks += 1;
+                    let occ = l.tx_occupancy(ridx, port);
+                    if occ > l.window() {
+                        viols.push(AuditViolation::ReplayOverflow {
+                            cycle: now,
+                            router: ridx as u32,
+                            port: port as u16,
+                            occupancy: occ as u32,
+                            window: l.window() as u32,
+                        });
+                    }
+                }
                 for vcn in 0..out.credits.len() {
                     checks += 1;
-                    let inflight_pkts = din
-                        .arrivals
-                        .iter()
-                        .filter(|&&(_, v, _)| v as usize == vcn)
-                        .count() as u32;
+                    // Mirrors `check_credit_conservation`: under LLR the
+                    // reserved space is the undelivered replay entries,
+                    // not the phantom copies in flight.
+                    let reserved = match &self.llr {
+                        Some(l) => {
+                            l.undelivered(
+                                ridx,
+                                port,
+                                link.dst_router as usize,
+                                link.dst_port as usize,
+                            )
+                            .filter(|e| e.out_vc as usize == vcn)
+                            .count() as u32
+                                * size as u32
+                        }
+                        None => {
+                            din.arrivals
+                                .iter()
+                                .filter(|&&(_, v, _)| v as usize == vcn)
+                                .count() as u32
+                                * size as u32
+                        }
+                    };
                     let inflight_credits: u32 = out
                         .credit_events
                         .iter()
@@ -838,7 +1056,7 @@ impl<P: Policy> Network<P> {
                         .sum();
                     let sum = out.credits[vcn]
                         + din.vcs[vcn].occupancy()
-                        + inflight_pkts * size as u32
+                        + reserved
                         + inflight_credits;
                     if sum != out.capacity[vcn] {
                         viols.push(AuditViolation::CreditLeak {
@@ -1007,19 +1225,34 @@ impl<P: Policy> Network<P> {
                 if let Some(log) = self.delivered_log.as_mut() {
                     log.push((pkt.injected_at, latency as u32));
                 }
+                // End-to-end exactly-once accounting: the link layer
+                // dedups spurious retransmissions at every hop, so a
+                // second ejection of one id means the protocol leaked.
+                if let Some(llr) = self.llr.as_mut() {
+                    if llr.mark_delivered(pkt.id) {
+                        self.stats.duplicate_deliveries += 1;
+                        #[cfg(feature = "audit")]
+                        if let Some(a) = self.auditor.as_mut() {
+                            a.record(crate::audit::AuditViolation::DuplicateDelivery {
+                                cycle: now,
+                                router: ridx as u32,
+                                packet: pkt.id,
+                            });
+                        }
+                    } else {
+                        #[cfg(feature = "audit")]
+                        if let Some(a) = self.auditor.as_mut() {
+                            a.count(1);
+                        }
+                    }
+                }
             }
             RequestKind::RingEnter | RequestKind::RingAdvance => {
                 // Ring hops do not advance the canonical hop ladder.
                 pkt.ring_hops = pkt.ring_hops.saturating_add(1);
                 let out = &mut store.outputs[req.out_port as usize];
                 out.credits[req.out_vc as usize] -= size;
-                self.effects.push(Effect::Arrival {
-                    router: link.dst_router,
-                    port: link.dst_port,
-                    vc: req.out_vc,
-                    at: now + u64::from(link.latency),
-                    pkt,
-                });
+                self.transmit(ridx, req, link, pkt, now);
             }
             _ => {
                 // Saturating: a packet trapped on the near side of a
@@ -1032,13 +1265,131 @@ impl<P: Policy> Network<P> {
                 }
                 let out = &mut store.outputs[req.out_port as usize];
                 out.credits[req.out_vc as usize] -= size;
-                self.effects.push(Effect::Arrival {
-                    router: link.dst_router,
-                    port: link.dst_port,
-                    vc: req.out_vc,
-                    at: now + u64::from(link.latency),
-                    pkt,
-                });
+                self.transmit(ridx, req, link, pkt, now);
+            }
+        }
+    }
+
+    /// Put a granted packet on the wire. Lossless path: defer the
+    /// arrival. LLR path: sample the transfer's fate under the link's
+    /// effective error rate (one-shot injected faults first), record the
+    /// replay entry, and defer the arrival unless the wire ate it — a
+    /// dropped transfer leaves only the replay copy, recovered by the
+    /// retransmit timeout. The credit was already taken by the caller
+    /// and is not taken again on retries.
+    fn transmit(&mut self, ridx: usize, req: Request, link: crate::fabric::OutLink, pkt: Packet, now: u64) {
+        if let Some(llr) = self.llr.as_mut() {
+            let size = self.fab.cfg().packet_size as u32;
+            let (a, b) = (RouterId::from(ridx), RouterId::new(link.dst_router));
+            let fate = match self.faults.take_pending(a, b) {
+                Some(f) => f,
+                None => {
+                    let ber = self.faults.link_ber(a, b, self.fab.cfg().ber);
+                    llr.sample_fate(ber, size)
+                }
+            };
+            let (seq, wire_crc) =
+                llr.record_send(ridx, req.out_port as usize, req.out_vc, pkt, now, fate);
+            if fate == Fate::Drop {
+                self.stats.llr_wire_drops += 1;
+                return;
+            }
+            llr.push_wire(link.dst_router as usize, link.dst_port as usize, seq, wire_crc);
+        }
+        self.effects.push(Effect::Arrival {
+            router: link.dst_router,
+            port: link.dst_port,
+            vc: req.out_vc,
+            at: now + u64::from(link.latency),
+            pkt,
+        });
+    }
+
+    /// LLR timer phase (after event delivery, before injection and
+    /// allocation): per directed link, process the acks and nacks that
+    /// arrived this cycle, expire overdue transfers, and issue at most
+    /// one retransmission per link per idle wire — or escalate a link
+    /// whose oldest lost transfer has exhausted the retry budget to the
+    /// §VII fail-stop path, where degraded routing takes over.
+    fn llr_phase(&mut self, now: u64) {
+        let size = self.fab.cfg().packet_size as u32;
+        let slack = self.fab.cfg().llr_timeout_slack;
+        let backoff_cap = self.fab.cfg().llr_backoff_cap;
+        let budget = self.fab.cfg().llr_retry_budget;
+        let n_out = self.fab.n_out();
+        let mut escalate: Vec<(RouterId, RouterId)> = Vec::new();
+        for ridx in 0..self.routers.len() {
+            let rid = RouterId::from(ridx);
+            for port in 0..n_out {
+                let link = *self.fab.out_link(rid, port);
+                if link.kind == PortKind::Node {
+                    continue;
+                }
+                let llr = self.llr.as_mut().expect("caller checked");
+                self.stats.llr_nacks += llr.drain_acks(ridx, port, now);
+                if llr.tx_occupancy(ridx, port) == 0 {
+                    continue;
+                }
+                self.stats.llr_timeouts += llr.expire(
+                    ridx,
+                    port,
+                    now,
+                    u64::from(link.latency),
+                    u64::from(size),
+                    slack,
+                    backoff_cap,
+                );
+                if !self.faults.link_up(ridx, port) {
+                    continue; // flushed on failure; nothing to replay
+                }
+                let Some((seq, retries)) = llr.next_retransmit(ridx, port) else {
+                    continue;
+                };
+                if retries >= budget {
+                    escalate.push((rid, RouterId::new(link.dst_router)));
+                    continue;
+                }
+                let out = &mut self.routers[ridx].outputs[port];
+                if out.busy_until > now {
+                    continue; // the wire is streaming; retry next cycle
+                }
+                // Retransmissions occupy the wire ahead of new grants:
+                // the allocator sees busy_until and naturally defers.
+                out.busy_until = now + u64::from(size);
+                let b = RouterId::new(link.dst_router);
+                let fate = match self.faults.take_pending(rid, b) {
+                    Some(f) => f,
+                    None => {
+                        let ber = self.faults.link_ber(rid, b, self.fab.cfg().ber);
+                        llr.sample_fate(ber, size)
+                    }
+                };
+                let (out_vc, pkt, wire_crc, fate) =
+                    llr.record_retransmit(ridx, port, seq, now, fate);
+                self.stats.llr_retransmits += 1;
+                if let Some(util) = self.link_phits.as_mut() {
+                    util[ridx * n_out + port] += u64::from(size);
+                }
+                if fate == Fate::Drop {
+                    self.stats.llr_wire_drops += 1;
+                    continue;
+                }
+                llr.push_wire(link.dst_router as usize, link.dst_port as usize, seq, wire_crc);
+                let at = now + u64::from(link.latency);
+                let q = &mut self.routers[link.dst_router as usize].inputs
+                    [link.dst_port as usize]
+                    .arrivals;
+                debug_assert!(q.back().is_none_or(|&(t, _, _)| t <= at));
+                q.push_back((at, out_vc, pkt));
+            }
+        }
+        for (a, b) in escalate {
+            // Failing one direction fails the full-duplex pair, so a
+            // simultaneous escalation of the reverse direction is a
+            // no-op by then.
+            if self.faults.topo_link_up(a, b) {
+                self.stats.llr_escalations += 1;
+                self.apply_fault(FaultKind::FailLink(a, b));
             }
         }
     }
@@ -1052,6 +1403,14 @@ impl<P: Policy> Network<P> {
         let size = self.fab.cfg().packet_size as u64;
         let src: u64 = self.src_q.iter().map(|q| q.len() as u64 * size).sum();
         let buffered: u64 = self.routers.iter().map(RouterStore::buffered_phits).sum();
+        if let Some(llr) = &self.llr {
+            // Under LLR, a copy in flight on a link is a phantom: the
+            // canonical copy of a packet the receiver has not accepted
+            // is its sender-side replay entry (counting both would
+            // double-count every transfer, and a dropped transfer would
+            // vanish). Accepted packets are counted by FIFO occupancy.
+            return src + buffered + llr.undelivered_phits(&self.fab, size);
+        }
         let inflight: u64 = self
             .routers
             .iter()
@@ -1075,11 +1434,31 @@ impl<P: Policy> Network<P> {
                 let out = &self.routers[ridx].outputs[port];
                 let din = &self.routers[link.dst_router as usize].inputs[link.dst_port as usize];
                 for vc in 0..out.credits.len() {
-                    let inflight_pkts = din
-                        .arrivals
-                        .iter()
-                        .filter(|&&(_, v, _)| v as usize == vc)
-                        .count() as u32;
+                    // Under LLR the in-flight-packet term is replaced by
+                    // the undelivered replay entries: a credit taken at
+                    // first transmission stays reserved across drops,
+                    // corruptions and retries until the receiver accepts
+                    // the packet into its buffer.
+                    let reserved = match &self.llr {
+                        Some(l) => {
+                            l.undelivered(
+                                ridx,
+                                port,
+                                link.dst_router as usize,
+                                link.dst_port as usize,
+                            )
+                            .filter(|e| e.out_vc as usize == vc)
+                            .count() as u32
+                                * size
+                        }
+                        None => {
+                            din.arrivals
+                                .iter()
+                                .filter(|&&(_, v, _)| v as usize == vc)
+                                .count() as u32
+                                * size
+                        }
+                    };
                     let inflight_credits: u32 = out
                         .credit_events
                         .iter()
@@ -1088,7 +1467,7 @@ impl<P: Policy> Network<P> {
                         .sum();
                     let occ = din.vcs[vc].occupancy();
                     assert_eq!(
-                        out.credits[vc] + occ + inflight_pkts * size + inflight_credits,
+                        out.credits[vc] + occ + reserved + inflight_credits,
                         out.capacity[vc],
                         "credit leak on {router} out {port} vc {vc}"
                     );

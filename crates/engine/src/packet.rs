@@ -80,6 +80,24 @@ impl Packet {
     pub fn hops(&self) -> u32 {
         self.local_hops as u32 + self.global_hops as u32
     }
+
+    /// The header bytes covered by the link-level CRC: the immutable
+    /// identity fields plus the link-local sequence number `seq`. Routing
+    /// state (flags, hop counts, `wait`) is deliberately excluded — it
+    /// legitimately differs between a transmission and its replay-buffer
+    /// copy is irrelevant anyway because the replayed copy is byte-exact.
+    /// Covering the stable identity keeps a corrupted wire image
+    /// detectable without making the CRC depend on mutable scratch state.
+    #[inline]
+    pub fn fingerprint(&self, seq: u32) -> [u8; 24] {
+        let mut out = [0u8; 24];
+        out[..8].copy_from_slice(&self.id.to_le_bytes());
+        out[8..12].copy_from_slice(&self.src.0.to_le_bytes());
+        out[12..16].copy_from_slice(&self.dst.0.to_le_bytes());
+        out[16..20].copy_from_slice(&seq.to_le_bytes());
+        out[20..24].copy_from_slice(&(self.injected_at as u32).to_le_bytes());
+        out
+    }
 }
 
 /// Semantic class of a routing request; the engine uses it to perform the

@@ -41,6 +41,27 @@ pub struct Stats {
     pub link_repairs: u64,
     /// Router-failure transitions applied.
     pub router_failures: u64,
+    /// Router-restoration transitions applied.
+    pub router_repairs: u64,
+    /// LLR: retransmissions issued (first transmissions excluded).
+    pub llr_retransmits: u64,
+    /// LLR: transfers lost on the wire (header phit hit — never arrive).
+    pub llr_wire_drops: u64,
+    /// LLR: transfers discarded at the receiver on a CRC mismatch.
+    pub llr_crc_drops: u64,
+    /// LLR: duplicate transfers discarded at the receiver (spurious
+    /// retransmissions — the sequence number was already accepted).
+    pub llr_dup_drops: u64,
+    /// LLR: nacks processed by senders.
+    pub llr_nacks: u64,
+    /// LLR: retransmit timeouts fired.
+    pub llr_timeouts: u64,
+    /// LLR: links escalated to fail-stop after exhausting the retry
+    /// budget.
+    pub llr_escalations: u64,
+    /// Packets ejected more than once (must stay 0 while the link layer
+    /// dedups; counted, not asserted, so release runs surface it too).
+    pub duplicate_deliveries: u64,
 }
 
 impl Stats {

@@ -199,3 +199,33 @@ fn stats_windows_do_not_drift() {
         assert_eq!(n.stats().generated_packets, n.stats().injected_packets + queued);
     }
 }
+
+#[test]
+fn fault_transition_counters_count_once_per_transition() {
+    use ofar_engine::FaultPlan;
+    use ofar_topology::RouterId;
+    let (a, b) = (RouterId::new(0), RouterId::new(1));
+    let r = RouterId::new(2);
+    let mut n = net();
+    // Same-cycle restore + re-fail at cycle 20 is two transitions, one
+    // count each; the duplicate fail at 30 is a no-op transition and
+    // must not be counted at all. Routers get the symmetric treatment.
+    n.set_fault_plan(
+        FaultPlan::new()
+            .fail_link_at(10, a, b)
+            .restore_link_at(20, a, b)
+            .fail_link_at(20, a, b)
+            .fail_link_at(30, a, b)
+            .restore_link_at(40, a, b)
+            .fail_router_at(10, r)
+            .restore_router_at(20, r)
+            .fail_router_at(20, r)
+            .restore_router_at(40, r),
+    );
+    n.run(50);
+    let s = n.stats();
+    assert_eq!(s.link_failures, 2, "fail→(restore,fail) is two fail transitions");
+    assert_eq!(s.link_repairs, 2);
+    assert_eq!(s.router_failures, 2);
+    assert_eq!(s.router_repairs, 2);
+}

@@ -12,8 +12,12 @@
 //!   --ring <none|physical|embedded>   escape model  [per mechanism]
 //!   --rings <k>           number of escape rings              [1]
 //!   --seed <n>                                                [42]
+//!   --ber <f>             per-phit link bit-error rate        [0]
 //!   --burst <pkts/node>   burst mode instead of steady state
 //! ```
+//!
+//! A nonzero `--ber` enables the link-level retransmission layer
+//! (DESIGN §9); burst mode then also reports the retry counters.
 
 use ofar::prelude::*;
 use std::process::exit;
@@ -43,7 +47,7 @@ impl Args {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{}", include_str!("ofar-sim.rs").lines().skip(2).take(14).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+        println!("{}", include_str!("ofar-sim.rs").lines().skip(2).take(15).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
         return;
     }
     let args = Args(argv);
@@ -63,6 +67,7 @@ fn main() {
     let h: usize = args.parse("--h", 2);
     let seed: u64 = args.parse("--seed", 42);
     let mut cfg = SimConfig::paper(h).with_seed(seed);
+    cfg.ber = args.parse("--ber", 0.0);
     cfg.escape_rings = args.parse("--rings", 1);
     match args.get("--ring") {
         Some("none") => cfg.ring = RingMode::None,
@@ -111,12 +116,24 @@ fn main() {
         });
         let r = burst(cfg, kind, &spec, ppn, seed);
         match r.cycles {
-            Some(c) => println!(
-                "burst of {ppn} pkts/node drained in {c} cycles (avg latency {:.1}, {} ring entries)",
-                r.avg_latency, r.ring_entries
-            ),
+            Some(c) => {
+                println!(
+                    "burst of {ppn} pkts/node drained in {c} cycles (avg latency {:.1}, p99 {:.0}, {} ring entries)",
+                    r.avg_latency, r.p99_latency, r.ring_entries
+                );
+                if cfg.ber > 0.0 {
+                    println!(
+                        "link layer: {} retransmits ({} crc drops, {} wire drops), {} escalations, {} duplicates",
+                        r.stats.llr_retransmits,
+                        r.stats.llr_crc_drops,
+                        r.stats.llr_wire_drops,
+                        r.stats.llr_escalations,
+                        r.stats.duplicate_deliveries,
+                    );
+                }
+            }
             None => {
-                println!("STALLED after {} deliveries", r.delivered);
+                println!("STALLED after {} deliveries: {:?}", r.delivered, r.stall);
                 exit(1);
             }
         }

@@ -85,6 +85,92 @@ fn isolated_group_is_reported_as_partition() {
     }
 }
 
+/// A link whose error rate pins at 100% can never complete a transfer:
+/// the link layer must exhaust its retry budget, escalate the link to
+/// the §VII fail-stop machinery, and let degraded routing finish the
+/// job — every packet still delivered exactly once, no watchdog verdict.
+#[test]
+fn hopeless_link_escalates_to_fail_stop_and_burst_drains() {
+    let h = 2;
+    let mut cfg = SimConfig::paper(h);
+    cfg.escape_rings = h;
+    // An impatient link layer: a short retry budget and a tight backoff
+    // cap so the hopeless link is condemned long before the progress
+    // watchdog would fire (at the defaults, the capped timeout alone is
+    // ~6k cycles per late retry).
+    cfg.llr_retry_budget = 8;
+    cfg.llr_backoff_cap = 2;
+    let topo = Dragonfly::new(cfg.params);
+    let link = random_global_links(&topo, 1, 11)[0];
+    // ppm = 1_000_000: every phit of every transfer on this link errors.
+    let plan = FaultPlan::default().set_link_ber_at(0, link.0, link.1, 1_000_000);
+    let r = burst_faulted(
+        cfg,
+        MechanismKind::Ofar,
+        &TrafficSpec::adversarial(h),
+        3,
+        29,
+        plan,
+        RunConfig::default(),
+    );
+    assert_eq!(r.stall, None, "degraded routing must finish: {:?}", r.stall);
+    assert_eq!(
+        r.delivered,
+        (topo.num_nodes() * 3) as u64,
+        "lost packets after escalation"
+    );
+    assert!(
+        r.stats.llr_escalations >= 1,
+        "the hopeless link must be escalated: {:?}",
+        r.stats
+    );
+    assert!(
+        r.stats.link_failures >= 1,
+        "escalation must reach the fail-stop machinery"
+    );
+    assert_eq!(r.stats.duplicate_deliveries, 0);
+}
+
+/// A network-wide error rate so high that goodput collapses is a
+/// *retransmission storm*: links are alive and the wires are busy, so
+/// the verdict must name the offending links and the retry count — not
+/// call it a deadlock (nothing is cyclically blocked) or a partition.
+#[test]
+fn network_wide_noise_is_diagnosed_as_retransmission_storm() {
+    let h = 2;
+    let mut cfg = SimConfig::paper(h).with_ber(0.9);
+    // A budget the storm cannot exhaust inside the watchdog window, so
+    // no link escapes into fail-stop and the storm stays a storm.
+    cfg.llr_retry_budget = 1_000_000;
+    let topo = Dragonfly::new(cfg.params);
+    let r = burst_faulted(
+        cfg,
+        MechanismKind::Min,
+        &TrafficSpec::uniform(),
+        2,
+        37,
+        FaultPlan::default(),
+        // small window: the verdict is the point, not the wait
+        RunConfig { watchdog: Some(2_000) },
+    );
+    assert_eq!(r.cycles, None, "a 90% BER burst cannot drain");
+    assert!(
+        r.delivered < (topo.num_nodes() * 2) as u64,
+        "goodput should have collapsed"
+    );
+    match r.stall {
+        Some(StallKind::RetransmissionStorm { ref links, retransmits }) => {
+            assert!(!links.is_empty(), "storm verdict must name links");
+            assert!(retransmits >= 64, "storm verdict needs real retries");
+            assert!(
+                links.windows(2).all(|w| w[0].2 >= w[1].2),
+                "links must be sorted worst-first: {links:?}"
+            );
+        }
+        ref other => panic!("expected a retransmission storm, got {other:?}"),
+    }
+}
+
 /// A transient failure (link dies, then is repaired) must heal: the
 /// burst drains fully once the link returns, even for oblivious MIN
 /// whose packets just wait out the outage.
