@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("fig4_adv2");
     g.sample_size(10);
-    for kind in [MechanismKind::Valiant, MechanismKind::Ofar, MechanismKind::OfarL] {
+    for kind in [
+        MechanismKind::Valiant,
+        MechanismKind::Ofar,
+        MechanismKind::OfarL,
+    ] {
         g.bench_function(format!("{kind}_ADV2_0.3_1kcycles"), |b| {
             b.iter(|| steady_state(cfg, kind, &TrafficSpec::adversarial(2), 0.3, opts, 5))
         });

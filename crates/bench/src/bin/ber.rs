@@ -78,7 +78,8 @@ fn main() {
     );
     for p in &pts {
         assert_eq!(
-            p.duplicate_deliveries, 0,
+            p.duplicate_deliveries,
+            0,
             "link layer must dedup: {} at BER {}",
             p.mechanism.name(),
             p.ber

@@ -56,7 +56,12 @@ fn main() {
     let end = net.stats().clone();
     let w = StatsWindow::between(&start, &end, 5_000, nodes);
     println!("{mech} {pattern} load={load} h={h}");
-    println!("  throughput {:.4}  latency {:.1}  hops {:.2}", w.throughput(), w.avg_latency(), w.avg_hops());
+    println!(
+        "  throughput {:.4}  latency {:.1}  hops {:.2}",
+        w.throughput(),
+        w.avg_latency(),
+        w.avg_hops()
+    );
     println!(
         "  per-pkt: local mis {:.3}  global mis {:.3}",
         w.local_misroutes as f64 / w.delivered_packets.max(1) as f64,

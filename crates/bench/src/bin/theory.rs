@@ -2,8 +2,8 @@
 //! table behind Fig. 2b, for several network sizes including the paper's
 //! h = 6 and the PERCS-class h = 16.
 
-use ofar_core::{theory, Table};
 use ofar_core::topology::DragonflyParams;
+use ofar_core::{theory, Table};
 
 fn main() {
     let mut bounds = Table::new(

@@ -2,7 +2,11 @@
 //! shipped configuration space (every mechanism × VC budget × ring mode
 //! × ring count used by the figure binaries) and print one row per
 //! configuration — then demonstrate the rejections on deliberately
-//! broken configurations.
+//! broken configurations, and finally run the routing-conformance model
+//! checker: every mechanism's real `route`/`on_inject` code is driven
+//! over the full abstract decision space, proved contained in its
+//! declaration, proved livelock-free by ranking, and its static hop
+//! bound checked against the paper's path-length table.
 //!
 //! ```text
 //! cargo run --release -p ofar-bench --bin verify        # h = 4
@@ -39,7 +43,15 @@ fn main() {
     ofar_bench::announce("verify", &scale);
     let h = scale.h;
     let headers = [
-        "mechanism", "vcs l/g", "ring", "status", "channels", "deps", "rings", "drained", "slack",
+        "mechanism",
+        "vcs l/g",
+        "ring",
+        "status",
+        "channels",
+        "deps",
+        "rings",
+        "drained",
+        "slack",
     ];
 
     // 1. Every shipped (mechanism × ring) configuration at paper VCs —
@@ -112,7 +124,9 @@ fn main() {
     rev.edges[5] = (b, a);
     tb.push(vec![
         "reversed ring edge".into(),
-        verify_decl(&topo, &cfg, &decl, &[rev]).unwrap_err().to_string(),
+        verify_decl(&topo, &cfg, &decl, &[rev])
+            .unwrap_err()
+            .to_string(),
     ]);
 
     // 3b. ring buffers too shallow for the bubble
@@ -120,19 +134,23 @@ fn main() {
     shallow.buf_ring = shallow.packet_size;
     tb.push(vec![
         "zero-bubble ring buffers".into(),
-        certify(&shallow, MechanismKind::Ofar).unwrap_err().to_string(),
+        certify(&shallow, MechanismKind::Ofar)
+            .unwrap_err()
+            .to_string(),
     ]);
 
     // 3c. an adaptive VC with no declared escape drain (Duato fails)
     let mut no_drain = decl.clone();
-    no_drain
-        .edges
-        .retain(|e| !(e.to == ofar_core::routing::ClassId::Escape
-            && e.from == ofar_core::routing::ClassId::Global { vc: 0 }));
+    no_drain.edges.retain(|e| {
+        !(e.to == ofar_core::routing::ClassId::Escape
+            && e.from == ofar_core::routing::ClassId::Global { vc: 0 })
+    });
     let spec = RingSpec::from_ring(&topo, &ring);
     tb.push(vec![
         "OFAR without escape entry on g0".into(),
-        verify_decl(&topo, &cfg, &no_drain, &[spec]).unwrap_err().to_string(),
+        verify_decl(&topo, &cfg, &no_drain, &[spec])
+            .unwrap_err()
+            .to_string(),
     ]);
 
     // 3d. ladder mechanism with too few VCs and no escape layer
@@ -140,12 +158,93 @@ fn main() {
     folded.ring = RingMode::None;
     tb.push(vec![
         "VAL on 2 local VCs, no ring".into(),
-        certify(&folded, MechanismKind::Valiant).unwrap_err().to_string(),
+        certify(&folded, MechanismKind::Valiant)
+            .unwrap_err()
+            .to_string(),
     ]);
+
+    // 4. Routing conformance: the model checker drives the real policy
+    //    code over every reachable abstract decision and proves it stays
+    //    inside the declaration with a strictly decreasing ranking. The
+    //    hop bound column is *computed* from the exploration and must
+    //    reproduce the paper's path-length table.
+    let mut tc = Table::new(
+        format!("Routing conformance (h = {h})"),
+        &[
+            "mechanism",
+            "status",
+            "states",
+            "decisions",
+            "observed",
+            "dead",
+            "hop bound",
+            "paper",
+            "ring bound",
+        ],
+    );
+    let mut kinds = MechanismKind::paper_set().to_vec();
+    kinds.push(MechanismKind::Par);
+    let mut dead_edges: Vec<(String, String)> = Vec::new();
+    let mut failures = 0usize;
+    for kind in kinds {
+        let cfg = kind.adapt_config(SimConfig::paper(h));
+        match conformance(&cfg, kind) {
+            Ok(rep) => {
+                let declared = rep.observed.len() + rep.dead.len();
+                if rep.hop_bound != rep.paper_bound {
+                    failures += 1;
+                }
+                for d in &rep.dead {
+                    dead_edges.push((
+                        kind.name().to_string(),
+                        format!("{} -> {} ({:?})", d.from, d.to, d.why),
+                    ));
+                }
+                tc.push(vec![
+                    kind.name().to_string(),
+                    "CERTIFIED".into(),
+                    rep.states.to_string(),
+                    rep.decisions.to_string(),
+                    format!("{}/{}", rep.observed.len(), declared),
+                    rep.dead.len().to_string(),
+                    rep.hop_bound.to_string(),
+                    rep.paper_bound.to_string(),
+                    rep.ring_bound.map_or("-".into(), |b| b.to_string()),
+                ]);
+            }
+            Err(e) => {
+                failures += 1;
+                tc.push(vec![
+                    kind.name().to_string(),
+                    "REJECTED".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]);
+            }
+        }
+    }
+
+    // 4b. Dead declared transitions: declared dependencies the code never
+    //     exercised. These widen the certified graph beyond what runs —
+    //     legal (the declaration may over-approximate) but worth eyes.
+    let mut td = Table::new(
+        "Dead declared transitions (declared but never observed)",
+        &["mechanism", "transition"],
+    );
+    for (m, e) in &dead_edges {
+        td.push(vec![m.clone(), e.clone()]);
+    }
 
     ofar_bench::emit(&t);
     ofar_bench::emit(&t9);
     ofar_bench::emit(&tb);
+    ofar_bench::emit(&tc);
+    ofar_bench::emit(&td);
 
     let rejected = t
         .rows
@@ -157,5 +256,12 @@ fn main() {
         tb.rows.iter().all(|r| !r[1].is_empty()),
         "every broken configuration must be rejected with a reason"
     );
-    eprintln!("all shipped configurations certified; all broken ones rejected");
+    assert_eq!(
+        failures, 0,
+        "every mechanism must conform with its paper hop bound"
+    );
+    eprintln!(
+        "all shipped configurations certified; all broken ones rejected; \
+         all mechanisms conform with paper hop bounds"
+    );
 }

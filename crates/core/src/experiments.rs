@@ -138,7 +138,15 @@ fn sweep_table(
     let loads = scale.loads(max_load);
     let mut t = Table::new(
         title,
-        &["mech", "load", "latency", "p99", "throughput", "misroutes_per_pkt", "ring_entries"],
+        &[
+            "mech",
+            "load",
+            "latency",
+            "p99",
+            "throughput",
+            "misroutes_per_pkt",
+            "ring_entries",
+        ],
     );
     let results: Vec<_> = mechs
         .par_iter()
@@ -173,7 +181,12 @@ pub fn fig2b(scale: &Scale) -> Table {
     let offsets: Vec<usize> = (1..=2 * scale.h).collect();
     let mut t = Table::new(
         format!("Fig 2b: VAL throughput vs ADV offset (h={})", scale.h),
-        &["offset", "throughput", "analytic_estimate", "l2_concentration"],
+        &[
+            "offset",
+            "throughput",
+            "analytic_estimate",
+            "l2_concentration",
+        ],
     );
     let rows: Vec<_> = offsets
         .par_iter()
@@ -297,7 +310,15 @@ pub fn fig6(scale: &Scale) -> Table {
     let results: Vec<_> = jobs
         .par_iter()
         .map(|(name, mech, before, after, load)| {
-            let series = transient(cfg, *mech, before, after, *load, scale.transient, scale.seed);
+            let series = transient(
+                cfg,
+                *mech,
+                before,
+                after,
+                *load,
+                scale.transient,
+                scale.seed,
+            );
             (*name, *mech, series)
         })
         .collect();
@@ -359,7 +380,12 @@ pub fn fig7(scale: &Scale) -> Table {
                 Some(c) => (c.to_string(), "-".to_string()),
                 None => ("STALLED".to_string(), "-".to_string()),
             };
-            t.push(vec![label.clone(), kind.name().to_string(), cycles_s, norm_s]);
+            t.push(vec![
+                label.clone(),
+                kind.name().to_string(),
+                cycles_s,
+                norm_s,
+            ]);
         }
     }
     t
@@ -370,8 +396,18 @@ pub fn fig7(scale: &Scale) -> Table {
 /// (the ring carries almost no traffic).
 pub fn fig8(scale: &Scale) -> Table {
     let mut t = Table::new(
-        format!("Fig 8: physical vs embedded escape ring (OFAR), h={}", scale.h),
-        &["ring", "pattern", "load", "latency", "throughput", "ring_entries"],
+        format!(
+            "Fig 8: physical vs embedded escape ring (OFAR), h={}",
+            scale.h
+        ),
+        &[
+            "ring",
+            "pattern",
+            "load",
+            "latency",
+            "throughput",
+            "ring_entries",
+        ],
     );
     let jobs: Vec<(RingMode, TrafficSpec, f64)> = [RingMode::Physical, RingMode::Embedded]
         .into_iter()

@@ -11,8 +11,8 @@
 use crate::run::{burst_faulted, derive_watchdog, BurstResult, RunConfig, StallKind};
 use ofar_engine::{FaultPlan, SimConfig};
 use ofar_routing::MechanismKind;
-use ofar_traffic::TrafficSpec;
 use ofar_topology::Dragonfly;
+use ofar_traffic::TrafficSpec;
 use rayon::prelude::*;
 
 /// Cycle at which the scheduled link failures strike: late enough that
@@ -74,7 +74,15 @@ pub fn degradation(
         RunConfig::default(),
     );
     let injected = (topo.num_nodes() * packets_per_node) as f64;
-    point_from(kind, rings, failures, cfg.packet_size, topo.num_nodes(), injected, r)
+    point_from(
+        kind,
+        rings,
+        failures,
+        cfg.packet_size,
+        topo.num_nodes(),
+        injected,
+        r,
+    )
 }
 
 fn point_from(

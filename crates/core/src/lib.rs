@@ -38,11 +38,13 @@ pub mod table;
 pub mod theory;
 
 pub use experiments::Scale;
-pub use faults::{ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint};
+pub use faults::{
+    ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
+};
 pub use run::{
     burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep, saturation_throughput,
-    steady_state, steady_state_tuned, transient,
-    BurstResult, RunConfig, StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+    steady_state, steady_state_tuned, transient, BurstResult, RunConfig, StallKind, SteadyOpts,
+    SteadyPoint, TransientBucket, TransientOpts,
 };
 pub use table::Table;
 
@@ -60,9 +62,9 @@ pub mod prelude {
         ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
     };
     pub use crate::run::{
-        burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep,
-        saturation_throughput, steady_state, steady_state_tuned, transient,
-        BurstResult, RunConfig, StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+        burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep, saturation_throughput,
+        steady_state, steady_state_tuned, transient, BurstResult, RunConfig, StallKind, SteadyOpts,
+        SteadyPoint, TransientBucket, TransientOpts,
     };
     pub use crate::table::Table;
     pub use crate::theory;
@@ -74,7 +76,12 @@ pub mod prelude {
         DependencyDecl, Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy,
         PbConfig,
     };
-    pub use ofar_verify::{certify, certify_cached, Certificate, VerifyError};
-    pub use ofar_topology::{Dragonfly, DragonflyParams, GroupId, HamiltonianRing, NodeId, RouterId};
+    pub use ofar_topology::{
+        Dragonfly, DragonflyParams, GroupId, HamiltonianRing, NodeId, RouterId,
+    };
     pub use ofar_traffic::{Bernoulli, TrafficGen, TrafficPattern, TrafficSpec};
+    pub use ofar_verify::{
+        certify, certify_cached, conformance, conformance_cached, Certificate, ConformanceError,
+        ConformanceReport, TransitionWitness, VerifyError,
+    };
 }

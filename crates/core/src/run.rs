@@ -52,7 +52,26 @@ pub struct SteadyPoint {
 /// certify as deadlock-free. The proof is cached per distinct
 /// configuration, so sweeps pay it once; a rejection names the offending
 /// dependency cycle, ring defect or buffer inequality.
+///
+/// With `OFAR_CONFORMANCE=1` in the environment the gate is upgraded to
+/// the full routing-conformance model checker: the mechanism's actual
+/// `route`/`on_inject` code is exhaustively driven over the topology's
+/// abstract decision space and must stay inside its declaration, strictly
+/// decrease its livelock ranking, and re-certify its observed dependency
+/// graph. Cached per configuration like the plain certificate, but
+/// markedly more expensive on first use — an opt-in for CI and paranoid
+/// runs.
 fn ensure_certified(cfg: &SimConfig, kind: MechanismKind) {
+    let conformance = std::env::var("OFAR_CONFORMANCE").is_ok_and(|v| v == "1");
+    if conformance {
+        if let Err(e) = ofar_verify::conformance_cached(cfg, kind) {
+            panic!(
+                "refusing to start non-conformant configuration for {}: {e}",
+                kind.name()
+            );
+        }
+        return;
+    }
     if let Err(e) = ofar_verify::certify_cached(cfg, kind) {
         panic!(
             "refusing to start unverified configuration for {}: {e}",
@@ -158,7 +177,16 @@ pub fn load_sweep(
     loads
         .par_iter()
         .enumerate()
-        .map(|(i, &load)| steady_state(cfg, kind, spec, load, opts, seed.wrapping_add(i as u64 * 7919)))
+        .map(|(i, &load)| {
+            steady_state(
+                cfg,
+                kind,
+                spec,
+                load,
+                opts,
+                seed.wrapping_add(i as u64 * 7919),
+            )
+        })
         .collect()
 }
 
@@ -653,13 +681,7 @@ mod tests {
 
     #[test]
     fn burst_drains_and_reports_cycles() {
-        let r = burst(
-            small(),
-            MechanismKind::Ofar,
-            &TrafficSpec::uniform(),
-            3,
-            9,
-        );
+        let r = burst(small(), MechanismKind::Ofar, &TrafficSpec::uniform(), 3, 9);
         let cycles = r.cycles.expect("burst must drain");
         assert!(cycles > 0);
         // 3 packets * nodes delivered

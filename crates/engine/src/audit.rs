@@ -12,7 +12,7 @@
 //! The types here are always compiled (they appear in public result
 //! structs); the hooks inside [`crate::network::Network`] only exist
 //! under the `audit` cargo feature, and even then auditing is off until
-//! [`crate::network::Network::enable_audit`] is called. Two tiers keep
+//! `Network::enable_audit` is called. Two tiers keep
 //! the cost low:
 //!
 //! * **fast checks** mirror the local `debug_assert!`s (credit overflow,
@@ -187,54 +187,114 @@ pub enum AuditViolation {
 impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Self::CreditOverflow { cycle, router, port, vc, credits, capacity } => write!(
+            Self::CreditOverflow {
+                cycle,
+                router,
+                port,
+                vc,
+                credits,
+                capacity,
+            } => write!(
                 f,
                 "cycle {cycle}: credit overflow at R{router} out {port} vc {vc}: \
                  {credits} > capacity {capacity}"
             ),
-            Self::BufferOverflow { cycle, router, port, vc, occupancy, capacity } => write!(
+            Self::BufferOverflow {
+                cycle,
+                router,
+                port,
+                vc,
+                occupancy,
+                capacity,
+            } => write!(
                 f,
                 "cycle {cycle}: buffer overflow at R{router} in {port} vc {vc}: \
                  occupancy {occupancy} has no room below capacity {capacity}"
             ),
-            Self::RingMembership { cycle, router, transition, packet, on_ring } => write!(
+            Self::RingMembership {
+                cycle,
+                router,
+                transition,
+                packet,
+                on_ring,
+            } => write!(
                 f,
                 "cycle {cycle}: ring {transition} granted at R{router} to packet \
                  {packet} with on_ring={on_ring}"
             ),
-            Self::DeadPortGrant { cycle, router, port } => write!(
-                f,
-                "cycle {cycle}: grant to dead output {port} at R{router}"
-            ),
-            Self::InjectionVcRange { cycle, node, vc, vcs } => write!(
+            Self::DeadPortGrant {
+                cycle,
+                router,
+                port,
+            } => write!(f, "cycle {cycle}: grant to dead output {port} at R{router}"),
+            Self::InjectionVcRange {
+                cycle,
+                node,
+                vc,
+                vcs,
+            } => write!(
                 f,
                 "cycle {cycle}: node {node} picked injection vc {vc} of {vcs}"
             ),
-            Self::PhitImbalance { cycle, generated, delivered, in_system } => write!(
+            Self::PhitImbalance {
+                cycle,
+                generated,
+                delivered,
+                in_system,
+            } => write!(
                 f,
                 "cycle {cycle}: phit imbalance: generated {generated} != \
                  delivered {delivered} + in-system {in_system}"
             ),
-            Self::CreditLeak { cycle, router, port, vc, sum, capacity } => write!(
+            Self::CreditLeak {
+                cycle,
+                router,
+                port,
+                vc,
+                sum,
+                capacity,
+            } => write!(
                 f,
                 "cycle {cycle}: credit leak at R{router} out {port} vc {vc}: \
                  conserved sum {sum} != capacity {capacity}"
             ),
-            Self::OccupancyOverCapacity { cycle, router, port, vc, occupancy, capacity } => write!(
+            Self::OccupancyOverCapacity {
+                cycle,
+                router,
+                port,
+                vc,
+                occupancy,
+                capacity,
+            } => write!(
                 f,
                 "cycle {cycle}: occupancy {occupancy} > capacity {capacity} at \
                  R{router} in {port} vc {vc}"
             ),
-            Self::BubbleLost { cycle, ring, free_phits, required } => write!(
+            Self::BubbleLost {
+                cycle,
+                ring,
+                free_phits,
+                required,
+            } => write!(
                 f,
                 "cycle {cycle}: ring {ring} bubble lost: {free_phits} free phits \
                  < {required} required"
             ),
-            Self::DuplicateDelivery { cycle, router, packet } => write!(
+            Self::DuplicateDelivery {
+                cycle,
+                router,
+                packet,
+            } => write!(
                 f,
                 "cycle {cycle}: packet {packet} delivered twice (second ejection at R{router})"
             ),
-            Self::ReplayOverflow { cycle, router, port, occupancy, window } => write!(
+            Self::ReplayOverflow {
+                cycle,
+                router,
+                port,
+                occupancy,
+                window,
+            } => write!(
                 f,
                 "cycle {cycle}: replay buffer at R{router} out {port} holds \
                  {occupancy} entries > window {window}"

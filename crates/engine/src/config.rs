@@ -96,7 +96,10 @@ impl fmt::Display for ConfigError {
             Self::NoVcs => write!(f, "every link class needs at least one VC"),
             Self::ZeroAllocIters => write!(f, "allocator needs at least one iteration"),
             Self::RadixTooSmall { h } => {
-                write!(f, "h = {h} is below the minimum of 2 (degenerate Dragonfly)")
+                write!(
+                    f,
+                    "h = {h} is below the minimum of 2 (degenerate Dragonfly)"
+                )
             }
             Self::NoEscapeRing => write!(f, "an escape subnetwork needs at least one ring"),
             Self::TooManyRings { requested, h } => write!(
@@ -117,7 +120,10 @@ impl fmt::Display for ConfigError {
                 "llr_window ({window}) must lie in 1..=64 (selective-repeat bitmap width)"
             ),
             Self::ZeroLlrRetryBudget => {
-                write!(f, "llr_retry_budget must be positive (0 escalates on first error)")
+                write!(
+                    f,
+                    "llr_retry_budget must be positive (0 escalates on first error)"
+                )
             }
             Self::ZeroLlrTimeoutSlack => write!(
                 f,
@@ -330,7 +336,9 @@ impl SimConfig {
             return Err(ConfigError::BerOutOfRange);
         }
         if self.llr_window == 0 || self.llr_window > 64 {
-            return Err(ConfigError::LlrWindowOutOfRange { window: self.llr_window });
+            return Err(ConfigError::LlrWindowOutOfRange {
+                window: self.llr_window,
+            });
         }
         if self.llr_retry_budget == 0 {
             return Err(ConfigError::ZeroLlrRetryBudget);
@@ -371,7 +379,14 @@ mod tests {
         let mut c = SimConfig::paper(2);
         c.buf_local = 4;
         let err = c.validate().unwrap_err();
-        assert_eq!(err, ConfigError::BufferTooSmall { name: "buf_local", cap: 4, packet: 8 });
+        assert_eq!(
+            err,
+            ConfigError::BufferTooSmall {
+                name: "buf_local",
+                cap: 4,
+                packet: 8
+            }
+        );
         assert!(err.to_string().contains("buf_local"));
     }
 
@@ -388,7 +403,10 @@ mod tests {
     fn validation_rejects_degenerate_radix() {
         let mut c = SimConfig::paper(2);
         c.params = DragonflyParams::balanced(1);
-        assert_eq!(c.validate().unwrap_err(), ConfigError::RadixTooSmall { h: 1 });
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::RadixTooSmall { h: 1 }
+        );
     }
 
     #[test]
@@ -399,7 +417,10 @@ mod tests {
 
         let mut c = SimConfig::paper(2).with_ring(RingMode::Embedded);
         c.escape_rings = 5;
-        assert_eq!(c.validate().unwrap_err(), ConfigError::TooManyRings { requested: 5, h: 2 });
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::TooManyRings { requested: 5, h: 2 }
+        );
     }
 
     #[test]
@@ -413,9 +434,15 @@ mod tests {
         c.validate().unwrap();
 
         c.llr_window = 0;
-        assert_eq!(c.validate().unwrap_err(), ConfigError::LlrWindowOutOfRange { window: 0 });
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::LlrWindowOutOfRange { window: 0 }
+        );
         c.llr_window = 65;
-        assert_eq!(c.validate().unwrap_err(), ConfigError::LlrWindowOutOfRange { window: 65 });
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::LlrWindowOutOfRange { window: 65 }
+        );
         c.llr_window = 64;
         c.validate().unwrap();
 

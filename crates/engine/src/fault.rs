@@ -88,52 +88,74 @@ impl FaultPlan {
 
     /// Schedule a link failure at cycle `at`.
     pub fn fail_link_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::FailLink(a, b) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::FailLink(a, b),
+        });
         self
     }
 
     /// Schedule a link restoration at cycle `at`.
     pub fn restore_link_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::RestoreLink(a, b) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::RestoreLink(a, b),
+        });
         self
     }
 
     /// Schedule a router failure at cycle `at`.
     pub fn fail_router_at(mut self, at: u64, r: RouterId) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::FailRouter(r) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::FailRouter(r),
+        });
         self
     }
 
     /// Schedule a router restoration at cycle `at`.
     pub fn restore_router_at(mut self, at: u64, r: RouterId) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::RestoreRouter(r) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::RestoreRouter(r),
+        });
         self
     }
 
     /// Schedule a transient link failure: down at `at`, back up at
     /// `at + down_for`.
     pub fn transient_link(self, at: u64, down_for: u64, a: RouterId, b: RouterId) -> Self {
-        self.fail_link_at(at, a, b).restore_link_at(at + down_for, a, b)
+        self.fail_link_at(at, a, b)
+            .restore_link_at(at + down_for, a, b)
     }
 
     /// Schedule a one-shot payload corruption of the next transfer
     /// crossing the `a`–`b` link at or after cycle `at`.
     pub fn corrupt_phit_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::CorruptPhit(a, b) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::CorruptPhit(a, b),
+        });
         self
     }
 
     /// Schedule a one-shot wire drop of the next transfer crossing the
     /// `a`–`b` link at or after cycle `at`.
     pub fn drop_phit_at(mut self, at: u64, a: RouterId, b: RouterId) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::DropPhit(a, b) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::DropPhit(a, b),
+        });
         self
     }
 
     /// Schedule a per-link BER override (parts per million per phit) on
     /// the `a`–`b` link from cycle `at`. `ppm = 0` clears the override.
     pub fn set_link_ber_at(mut self, at: u64, a: RouterId, b: RouterId, ppm: u32) -> Self {
-        self.push(FaultEvent { at, kind: FaultKind::SetLinkBer(a, b, ppm) });
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::SetLinkBer(a, b, ppm),
+        });
         self
     }
 
@@ -152,7 +174,10 @@ impl FaultPlan {
         period: u64,
         count: usize,
     ) -> Self {
-        assert!(down_for < period, "flap must come back up within its period");
+        assert!(
+            down_for < period,
+            "flap must come back up within its period"
+        );
         for i in 0..count as u64 {
             let at = first_down + i * period;
             self = self.transient_link(at, down_for, a, b);
@@ -198,7 +223,11 @@ impl FaultPlan {
 /// `n` global links.
 pub fn random_global_links(topo: &Dragonfly, n: usize, seed: u64) -> Vec<(RouterId, RouterId)> {
     let all: Vec<(RouterId, RouterId)> = topo.global_links().map(|l| (l.src, l.dst)).collect();
-    assert!(n <= all.len(), "asked for {n} failures, only {} global links", all.len());
+    assert!(
+        n <= all.len(),
+        "asked for {n} failures, only {} global links",
+        all.len()
+    );
     // Partial Fisher–Yates with an inline splitmix64 — the engine keeps
     // no RNG dependency, and this must be reproducible from the seed
     // alone.
@@ -403,7 +432,9 @@ impl FaultState {
 }
 
 fn ring_alive(topo: &Dragonfly, ring: &HamiltonianRing, faults: &FaultState) -> bool {
-    ring.edges().iter().all(|e| faults.topo_link_up(e.from(), e.to(topo)))
+    ring.edges()
+        .iter()
+        .all(|e| faults.topo_link_up(e.from(), e.to(topo)))
 }
 
 #[inline]
@@ -504,13 +535,22 @@ mod tests {
     fn transient_kinds_do_not_flip_the_healthy_fast_path() {
         let f = fab();
         let mut s = FaultState::new(&f);
-        let (a, b) = (RouterId::new(0), f.topo().local_neighbor(RouterId::new(0), 0));
+        let (a, b) = (
+            RouterId::new(0),
+            f.topo().local_neighbor(RouterId::new(0), 0),
+        );
         assert!(!s.apply(FaultKind::CorruptPhit(a, b), &f));
         assert!(!s.apply(FaultKind::SetLinkBer(a, b, 1000), &f));
-        assert!(!s.any(), "transient faults must keep the fail-stop fast path");
+        assert!(
+            !s.any(),
+            "transient faults must keep the fail-stop fast path"
+        );
         assert!(s.any_transient());
         assert!(s.link_up(a.idx(), f.local_out(0)));
-        assert!((s.link_ber(b, a, 0.0) - 1e-3).abs() < 1e-12, "canonical pair, either order");
+        assert!(
+            (s.link_ber(b, a, 0.0) - 1e-3).abs() < 1e-12,
+            "canonical pair, either order"
+        );
         assert!((s.link_ber(a, RouterId::new(99), 0.5) - 0.5).abs() < 1e-12);
         assert!(!s.apply(FaultKind::SetLinkBer(a, b, 0), &f));
         assert_eq!(s.link_ber(a, b, 0.25), 0.25, "ppm 0 clears the override");
@@ -520,7 +560,10 @@ mod tests {
     fn pending_one_shots_are_consumed_drop_first() {
         let f = fab();
         let mut s = FaultState::new(&f);
-        let (a, b) = (RouterId::new(0), f.topo().local_neighbor(RouterId::new(0), 0));
+        let (a, b) = (
+            RouterId::new(0),
+            f.topo().local_neighbor(RouterId::new(0), 0),
+        );
         s.apply(FaultKind::CorruptPhit(a, b), &f);
         s.apply(FaultKind::DropPhit(b, a), &f);
         assert_eq!(s.take_pending(b, a), Some(crate::llr::Fate::Drop));

@@ -35,6 +35,7 @@ pub mod llr;
 pub mod network;
 pub mod packet;
 pub mod policy;
+pub mod probe;
 pub mod router;
 pub mod stats;
 
@@ -49,4 +50,5 @@ pub use packet::{
     FLAG_ON_RING,
 };
 pub use policy::{InputCtx, NetSnapshot, Policy, RouterView};
+pub use probe::{PortLoad, ViewProbe, PROBE_NOW};
 pub use stats::{Stats, StatsWindow};

@@ -293,7 +293,11 @@ impl Llr {
         now: u64,
         fate: Fate,
     ) -> (u32, u32) {
-        let corruption = if fate == Fate::Corrupt { self.corruption() } else { 0 };
+        let corruption = if fate == Fate::Corrupt {
+            self.corruption()
+        } else {
+            0
+        };
         let t = &mut self.tx[router * self.n_out + port];
         debug_assert!(t.entries.len() < self.window, "replay buffer overflow");
         let seq = t.next_seq;
@@ -323,7 +327,12 @@ impl Llr {
     /// wire metadata, recompute the CRC over the packet, and run the
     /// sequence check. Returns the verdict plus the sequence number (for
     /// the ack/nack). On `Accept` the sequence is marked accepted.
-    pub fn receive(&mut self, dst_router: usize, dst_port: usize, pkt: &Packet) -> (RxVerdict, u32) {
+    pub fn receive(
+        &mut self,
+        dst_router: usize,
+        dst_port: usize,
+        pkt: &Packet,
+    ) -> (RxVerdict, u32) {
         let i = self.rx_idx(dst_router, dst_port);
         let meta = self.rx[i]
             .wire
@@ -427,7 +436,11 @@ impl Llr {
         now: u64,
         fate: Fate,
     ) -> (u8, Packet, u32, Fate) {
-        let corruption = if fate == Fate::Corrupt { self.corruption() } else { 0 };
+        let corruption = if fate == Fate::Corrupt {
+            self.corruption()
+        } else {
+            0
+        };
         let i = self.tx_idx(router, port);
         self.retx_per_link[i] += 1;
         let e = self.tx[i]

@@ -238,7 +238,9 @@ impl<P: Policy> Network<P> {
             return;
         }
         assert!(
-            self.routers.iter().all(|r| r.inputs.iter().all(|i| i.arrivals.is_empty())),
+            self.routers
+                .iter()
+                .all(|r| r.inputs.iter().all(|i| i.arrivals.is_empty())),
             "LLR must be enabled before packets are on the wire"
         );
         self.llr = Some(Llr::new(&self.fab, self.fab.cfg().seed));
@@ -274,7 +276,9 @@ impl<P: Policy> Network<P> {
     /// the storm diagnosis names these. Links with zero retries are
     /// omitted; empty when LLR is off.
     pub fn top_retransmit_links(&self, k: usize) -> Vec<(RouterId, RouterId, u64)> {
-        let Some(llr) = &self.llr else { return Vec::new() };
+        let Some(llr) = &self.llr else {
+            return Vec::new();
+        };
         let mut all: Vec<(RouterId, RouterId, u64)> = Vec::new();
         for r in 0..self.routers.len() {
             let rid = RouterId::from(r);
@@ -422,7 +426,9 @@ impl<P: Policy> Network<P> {
             for port in 0..self.fab.n_out() {
                 let link = *self.fab.out_link(rid, port);
                 if link.kind == PortKind::Node
-                    || self.faults.topo_link_up(rid, RouterId::new(link.dst_router))
+                    || self
+                        .faults
+                        .topo_link_up(rid, RouterId::new(link.dst_router))
                 {
                     continue;
                 }
@@ -464,9 +470,7 @@ impl<P: Policy> Network<P> {
         self.routers
             .iter()
             .enumerate()
-            .filter(|(r, store)| {
-                store.buffered_phits() > 0 && self.router_last_grant[*r] < horizon
-            })
+            .filter(|(r, store)| store.buffered_phits() > 0 && self.router_last_grant[*r] < horizon)
             .map(|(r, _)| RouterId::from(r))
             .collect()
     }
@@ -834,9 +838,7 @@ impl<P: Policy> Network<P> {
                         self.reqs[i..j].iter().enumerate().map(|(k, r)| (i + k, r))
                     {
                         let out = req.out_port as usize;
-                        if self.matched_out[out]
-                            || !Self::eligible(store, req, now, size)
-                        {
+                        if self.matched_out[out] || !Self::eligible(store, req, now, size) {
                             continue;
                         }
                         let stamp = store.inputs[in_port as usize].vc_served_at[vc as usize];
@@ -935,7 +937,9 @@ impl<P: Policy> Network<P> {
         let head = self.routers[ridx].inputs[in_port].vcs[vc]
             .head()
             .map(|p| (p.id, p.on_ring()));
-        let Some((packet, on_ring)) = head else { return };
+        let Some((packet, on_ring)) = head else {
+            return;
+        };
         let link_up = self.faults.link_up(ridx, req.out_port as usize);
         let a = self.auditor.as_mut().expect("checked above");
         if link_up {
@@ -1054,10 +1058,8 @@ impl<P: Policy> Network<P> {
                         .filter(|&&(_, v, _)| v as usize == vcn)
                         .map(|&(_, _, p)| p)
                         .sum();
-                    let sum = out.credits[vcn]
-                        + din.vcs[vcn].occupancy()
-                        + reserved
-                        + inflight_credits;
+                    let sum =
+                        out.credits[vcn] + din.vcs[vcn].occupancy() + reserved + inflight_credits;
                     if sum != out.capacity[vcn] {
                         viols.push(AuditViolation::CreditLeak {
                             cycle: now,
@@ -1216,8 +1218,9 @@ impl<P: Policy> Network<P> {
                 self.stats.delivered_packets += 1;
                 self.stats.delivered_phits += u64::from(size);
                 self.stats.latency_sum += latency;
-                self.stats.hop_sum +=
-                    u64::from(pkt.local_hops) + u64::from(pkt.global_hops) + u64::from(pkt.ring_hops);
+                self.stats.hop_sum += u64::from(pkt.local_hops)
+                    + u64::from(pkt.global_hops)
+                    + u64::from(pkt.ring_hops);
                 self.stats.last_delivery = now;
                 if was_on_ring {
                     self.stats.ring_deliveries += 1;
@@ -1277,7 +1280,14 @@ impl<P: Policy> Network<P> {
     /// dropped transfer leaves only the replay copy, recovered by the
     /// retransmit timeout. The credit was already taken by the caller
     /// and is not taken again on retries.
-    fn transmit(&mut self, ridx: usize, req: Request, link: crate::fabric::OutLink, pkt: Packet, now: u64) {
+    fn transmit(
+        &mut self,
+        ridx: usize,
+        req: Request,
+        link: crate::fabric::OutLink,
+        pkt: Packet,
+        now: u64,
+    ) {
         if let Some(llr) = self.llr.as_mut() {
             let size = self.fab.cfg().packet_size as u32;
             let (a, b) = (RouterId::from(ridx), RouterId::new(link.dst_router));
@@ -1294,7 +1304,12 @@ impl<P: Policy> Network<P> {
                 self.stats.llr_wire_drops += 1;
                 return;
             }
-            llr.push_wire(link.dst_router as usize, link.dst_port as usize, seq, wire_crc);
+            llr.push_wire(
+                link.dst_router as usize,
+                link.dst_port as usize,
+                seq,
+                wire_crc,
+            );
         }
         self.effects.push(Effect::Arrival {
             router: link.dst_router,
@@ -1374,10 +1389,14 @@ impl<P: Policy> Network<P> {
                     self.stats.llr_wire_drops += 1;
                     continue;
                 }
-                llr.push_wire(link.dst_router as usize, link.dst_port as usize, seq, wire_crc);
+                llr.push_wire(
+                    link.dst_router as usize,
+                    link.dst_port as usize,
+                    seq,
+                    wire_crc,
+                );
                 let at = now + u64::from(link.latency);
-                let q = &mut self.routers[link.dst_router as usize].inputs
-                    [link.dst_port as usize]
+                let q = &mut self.routers[link.dst_router as usize].inputs[link.dst_port as usize]
                     .arrivals;
                 debug_assert!(q.back().is_none_or(|&(t, _, _)| t <= at));
                 q.push_back((at, out_vc, pkt));

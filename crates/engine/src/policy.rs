@@ -203,7 +203,12 @@ impl<'a> NetSnapshot<'a> {
         routers: &'a [RouterStore],
         faults: &'a FaultState,
     ) -> Self {
-        Self { fab, now, routers, faults }
+        Self {
+            fab,
+            now,
+            routers,
+            faults,
+        }
     }
 
     /// Credit-estimated occupancy (in `[0, 1]`, aggregated over VCs) of
@@ -249,8 +254,12 @@ pub trait Policy {
     /// reached Valiant intermediate); irreversible state changes (header
     /// misroute flags, ring state) are applied by the engine when the
     /// request is *granted*, based on [`crate::packet::RequestKind`].
-    fn route(&mut self, view: &RouterView<'_>, input: InputCtx, pkt: &mut Packet)
-        -> Option<Request>;
+    fn route(
+        &mut self,
+        view: &RouterView<'_>,
+        input: InputCtx,
+        pkt: &mut Packet,
+    ) -> Option<Request>;
 
     /// Called when a packet moves from its source queue into an injection
     /// buffer; decides the injection VC and performs injection-time route

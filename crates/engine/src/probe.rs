@@ -1,0 +1,162 @@
+//! Deterministic mock router views for conformance checking.
+//!
+//! The conformance model checker (`ofar-verify`) drives every routing
+//! policy over its full reachable decision space without running the
+//! cycle engine. [`ViewProbe`] owns one router's worth of output-port
+//! state and hands out [`RouterView`]s over it, so a policy's `route`
+//! and `on_inject` can be called on arbitrary (router, credit-state)
+//! configurations. The credit state is set per port from a small
+//! lattice of [`PortLoad`] conditions rather than evolved cycle by
+//! cycle — the checker enumerates the lattice instead of simulating.
+
+use crate::fabric::Fabric;
+use crate::fault::FaultState;
+use crate::policy::RouterView;
+use crate::router::{OutputPort, RouterStore};
+use ofar_topology::RouterId;
+
+/// The fixed "current cycle" of every probe view. Any value works; it
+/// only needs to be far enough from zero that a `busy_until` in the
+/// future can be expressed.
+pub const PROBE_NOW: u64 = 10_000;
+
+/// One point of the credit/occupancy lattice applied to an output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortLoad {
+    /// Downstream buffers empty: full credits, link idle.
+    Empty,
+    /// Downstream buffers full: zero credits on every VC.
+    Congested,
+    /// Room for exactly one packet per VC: a single packet fits, but the
+    /// two-packet bubble condition for ring entry fails.
+    BubbleBlocked,
+    /// Full credits but the output link is transmitting (busy).
+    Busy,
+}
+
+/// A self-contained mock of one router's policy-visible state.
+///
+/// Owns the [`Fabric`], a healthy [`FaultState`] and one router's
+/// [`OutputPort`] vector; [`ViewProbe::view`] borrows them as the
+/// `RouterView` every [`crate::policy::Policy`] method takes.
+pub struct ViewProbe {
+    fab: Fabric,
+    faults: FaultState,
+    outputs: Vec<OutputPort>,
+    router: RouterId,
+}
+
+impl ViewProbe {
+    /// Build a probe over a fresh fabric for `cfg`, positioned at router 0
+    /// with all ports [`PortLoad::Empty`].
+    pub fn new(cfg: crate::config::SimConfig) -> Self {
+        let fab = Fabric::new(cfg);
+        let faults = FaultState::new(&fab);
+        let outputs = RouterStore::new(&fab, RouterId::new(0)).outputs;
+        Self {
+            fab,
+            faults,
+            outputs,
+            router: RouterId::new(0),
+        }
+    }
+
+    /// The wiring being probed.
+    #[inline]
+    pub fn fab(&self) -> &Fabric {
+        &self.fab
+    }
+
+    /// The router the next [`ViewProbe::view`] will describe.
+    #[inline]
+    pub fn router(&self) -> RouterId {
+        self.router
+    }
+
+    /// Reposition the probe at `router`, resetting every port to
+    /// [`PortLoad::Empty`].
+    pub fn set_router(&mut self, router: RouterId) {
+        self.router = router;
+        self.outputs = RouterStore::new(&self.fab, router).outputs;
+    }
+
+    /// Apply one lattice point to a single output port. Ejection ports
+    /// carry no credits (nodes are infinite sinks); for them only the
+    /// busy bit is meaningful.
+    pub fn set_load(&mut self, port: usize, load: PortLoad) {
+        let out = &mut self.outputs[port];
+        out.busy_until = 0;
+        match load {
+            PortLoad::Empty => out.credits.copy_from_slice(&out.capacity),
+            PortLoad::Congested => out.credits.fill(0),
+            PortLoad::BubbleBlocked => {
+                let one = self.fab.cfg().packet_size as u32;
+                for (c, cap) in out.credits.iter_mut().zip(&out.capacity) {
+                    *c = one.min(*cap);
+                }
+            }
+            PortLoad::Busy => {
+                out.credits.copy_from_slice(&out.capacity);
+                out.busy_until = PROBE_NOW + 1_000;
+            }
+        }
+    }
+
+    /// Apply one lattice point to every output port.
+    pub fn set_all(&mut self, load: PortLoad) {
+        for port in 0..self.outputs.len() {
+            self.set_load(port, load);
+        }
+    }
+
+    /// Borrow the current state as the view a policy routes against.
+    pub fn view(&self) -> RouterView<'_> {
+        RouterView::new(
+            &self.fab,
+            self.router,
+            PROBE_NOW,
+            &self.outputs,
+            &self.faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RingMode, SimConfig};
+
+    #[test]
+    fn lattice_points_shape_availability() {
+        let mut probe = ViewProbe::new(SimConfig::paper(2).with_ring(RingMode::Embedded));
+        let lp = probe.fab().local_out(0);
+        let phits = probe.fab().cfg().packet_size as u32;
+
+        probe.set_load(lp, PortLoad::Empty);
+        assert!(probe.view().available(lp, 0));
+        assert!(probe.view().available_with_bubble(lp, 0));
+
+        probe.set_load(lp, PortLoad::Congested);
+        assert!(!probe.view().available(lp, 0));
+        assert_eq!(probe.view().occupancy(lp, 0), 1.0);
+
+        probe.set_load(lp, PortLoad::BubbleBlocked);
+        assert!(probe.view().available(lp, 0));
+        assert!(!probe.view().available_with_bubble(lp, 0));
+        assert_eq!(probe.view().credits(lp, 0), phits);
+
+        probe.set_load(lp, PortLoad::Busy);
+        assert!(!probe.view().available(lp, 0));
+        assert!(probe.view().out_busy(lp));
+    }
+
+    #[test]
+    fn repositioning_resets_state() {
+        let mut probe = ViewProbe::new(SimConfig::paper(2));
+        probe.set_all(PortLoad::Congested);
+        probe.set_router(RouterId::new(5));
+        assert_eq!(probe.router(), RouterId::new(5));
+        let lp = probe.fab().local_out(0);
+        assert!(probe.view().available(lp, 0));
+    }
+}

@@ -108,7 +108,9 @@ impl RouterStore {
     /// Allocate the state for router `router` under the given wiring.
     pub fn new(fab: &Fabric, router: RouterId) -> Self {
         Self {
-            inputs: (0..fab.n_in()).map(|p| InputPort::new(fab, router, p)).collect(),
+            inputs: (0..fab.n_in())
+                .map(|p| InputPort::new(fab, router, p))
+                .collect(),
             outputs: (0..fab.n_out())
                 .map(|p| OutputPort::new(fab, router, p))
                 .collect(),

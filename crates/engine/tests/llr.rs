@@ -173,7 +173,14 @@ fn exactly_once_across_a_link_flap() {
     cfg.llr_retry_budget = 30;
     let mut net = Network::new(cfg, TestMin);
     // Flap the (0,1) local link twice: down at 20..40 and 120..140.
-    net.set_fault_plan(FaultPlan::new().flap_link(RouterId::new(0), RouterId::new(1), 20, 20, 100, 2));
+    net.set_fault_plan(FaultPlan::new().flap_link(
+        RouterId::new(0),
+        RouterId::new(1),
+        20,
+        20,
+        100,
+        2,
+    ));
 
     let mut generated = 0u64;
     for round in 0..6u64 {

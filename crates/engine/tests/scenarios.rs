@@ -196,7 +196,10 @@ fn stats_windows_do_not_drift() {
         let queued: u64 = (0..72)
             .map(|node: usize| n.source_queue_len(NodeId::from(node)) as u64)
             .sum();
-        assert_eq!(n.stats().generated_packets, n.stats().injected_packets + queued);
+        assert_eq!(
+            n.stats().generated_packets,
+            n.stats().injected_packets + queued
+        );
     }
 }
 
@@ -224,7 +227,10 @@ fn fault_transition_counters_count_once_per_transition() {
     );
     n.run(50);
     let s = n.stats();
-    assert_eq!(s.link_failures, 2, "fail→(restore,fail) is two fail transitions");
+    assert_eq!(
+        s.link_failures, 2,
+        "fail→(restore,fail) is two fail transitions"
+    );
     assert_eq!(s.link_repairs, 2);
     assert_eq!(s.router_failures, 2);
     assert_eq!(s.router_repairs, 2);

@@ -214,7 +214,7 @@ mod tests {
         let l = VcLadder::new(3, 2);
         let rank_local = |vc: usize| 2 * vc; // l(vc) ranks 0, 2, 4
         let rank_global = |vc: usize| 2 * vc + 1; // g(vc) ranks 1, 3
-        // Valiant l-g-l-g-l
+                                                  // Valiant l-g-l-g-l
         let path = [
             rank_local(l.local_vc(&pkt(0, 0), GroupPos::Source)),
             rank_global(l.global_vc(GroupPos::Source)),
@@ -253,14 +253,22 @@ mod tests {
     fn reduced_vc_ladders_stay_in_range() {
         // Fig. 9 config: 2 local, 1 global VCs.
         let l = VcLadder::new(2, 1);
-        for pos in [GroupPos::Source, GroupPos::Intermediate, GroupPos::Destination] {
+        for pos in [
+            GroupPos::Source,
+            GroupPos::Intermediate,
+            GroupPos::Destination,
+        ] {
             for lh in 0..8 {
                 assert!(l.local_vc(&pkt(lh, 0), pos) < 2);
             }
             assert_eq!(l.global_vc(pos), 0);
         }
         let single = VcLadder::new(1, 1);
-        for pos in [GroupPos::Source, GroupPos::Intermediate, GroupPos::Destination] {
+        for pos in [
+            GroupPos::Source,
+            GroupPos::Intermediate,
+            GroupPos::Destination,
+        ] {
             assert_eq!(single.local_vc(&pkt(3, 0), pos), 0);
         }
     }

@@ -393,7 +393,13 @@ mod tests {
                     continue;
                 }
                 let (a, b) = (rank(e.from, &cfg).unwrap(), rank(e.to, &cfg).unwrap());
-                assert!(a < b, "{}: {} → {} not ascending", deps.mechanism, e.from, e.to);
+                assert!(
+                    a < b,
+                    "{}: {} → {} not ascending",
+                    deps.mechanism,
+                    e.from,
+                    e.to
+                );
             }
         }
     }
@@ -408,7 +414,10 @@ mod tests {
                 assert!(deps.drains_to_escape(ClassId::Local { vc }), "local v{vc}");
             }
             for vc in 0..cfg.vcs_global as u8 {
-                assert!(deps.drains_to_escape(ClassId::Global { vc }), "global v{vc}");
+                assert!(
+                    deps.drains_to_escape(ClassId::Global { vc }),
+                    "global v{vc}"
+                );
             }
             // and the ring can always be exited
             assert!(deps.from(ClassId::Escape).any(|e| e.to != ClassId::Escape));

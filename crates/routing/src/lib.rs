@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
 
 pub mod common;
 pub mod deps;
@@ -26,6 +27,7 @@ pub mod minimal;
 pub mod ofar;
 pub mod par;
 pub mod pb;
+pub mod probe;
 pub mod valiant;
 
 pub use common::VcLadder;
@@ -35,4 +37,5 @@ pub use minimal::MinPolicy;
 pub use ofar::{MisrouteThreshold, OfarConfig, OfarPolicy};
 pub use par::{par_config, ParConfig, ParPolicy};
 pub use pb::{PbConfig, PbPolicy};
+pub use probe::{EnumerablePolicy, ProbeFeedback, ProbePin};
 pub use valiant::ValiantPolicy;

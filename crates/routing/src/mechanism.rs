@@ -5,8 +5,11 @@ use crate::minimal::MinPolicy;
 use crate::ofar::{OfarConfig, OfarPolicy};
 use crate::par::ParPolicy;
 use crate::pb::{PbConfig, PbPolicy};
+use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin};
 use crate::valiant::ValiantPolicy;
-use ofar_engine::{InputCtx, NetSnapshot, Packet, Policy, Request, RingMode, RouterView, SimConfig};
+use ofar_engine::{
+    InputCtx, NetSnapshot, Packet, Policy, Request, RingMode, RouterView, SimConfig,
+};
 
 /// Which routing mechanism to simulate. `Copy`, hashable and printable —
 /// convenient as a sweep axis in the experiment harness.
@@ -169,11 +172,35 @@ impl Policy for Mechanism {
     }
 
     fn end_cycle(&mut self, net: &NetSnapshot<'_>) {
-        if let Mechanism::Pb(p) = self { p.end_cycle(net) }
+        if let Mechanism::Pb(p) = self {
+            p.end_cycle(net)
+        }
     }
 
     fn needs_ring(&self) -> bool {
         matches!(self, Mechanism::Ofar(_))
+    }
+}
+
+impl EnumerablePolicy for Mechanism {
+    fn set_probe(&mut self, pin: Option<ProbePin>) {
+        match self {
+            Mechanism::Min(p) => p.set_probe(pin),
+            Mechanism::Valiant(p) => p.set_probe(pin),
+            Mechanism::Pb(p) => p.set_probe(pin),
+            Mechanism::Par(p) => p.set_probe(pin),
+            Mechanism::Ofar(p) => p.set_probe(pin),
+        }
+    }
+
+    fn probe_feedback(&self) -> ProbeFeedback {
+        match self {
+            Mechanism::Min(p) => p.probe_feedback(),
+            Mechanism::Valiant(p) => p.probe_feedback(),
+            Mechanism::Pb(p) => p.probe_feedback(),
+            Mechanism::Par(p) => p.probe_feedback(),
+            Mechanism::Ofar(p) => p.probe_feedback(),
+        }
     }
 }
 

@@ -5,6 +5,7 @@
 //! `1/(2h²)` under adversarial inter-group patterns (§III).
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin};
 use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 
 /// Minimal routing.
@@ -39,11 +40,26 @@ impl Policy for MinPolicy {
         // a fault it simply waits; the run watchdog diagnoses the
         // partition. Dead local links are detoured inside the group.
         let hop = live_minimal_hop(view, pkt)?;
-        Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal))
+        Some(hop_to_request(
+            view,
+            pkt,
+            hop,
+            &self.ladder,
+            RequestKind::Minimal,
+        ))
     }
 
     fn on_inject(&mut self, _view: &RouterView<'_>, pkt: &mut Packet) -> usize {
         injection_vc(self.vcs_injection, pkt)
+    }
+}
+
+impl EnumerablePolicy for MinPolicy {
+    // MIN is deterministic: no choices to pin, nothing ever sampled.
+    fn set_probe(&mut self, _pin: Option<ProbePin>) {}
+
+    fn probe_feedback(&self) -> ProbeFeedback {
+        ProbeFeedback::default()
     }
 }
 
@@ -64,7 +80,10 @@ mod tests {
         assert_eq!(net.stats().delivered_packets, 1);
         // l-g-l is at most 3 hops
         assert!(net.stats().hop_sum <= 3);
-        assert_eq!(net.stats().local_misroutes + net.stats().global_misroutes, 0);
+        assert_eq!(
+            net.stats().local_misroutes + net.stats().global_misroutes,
+            0
+        );
     }
 
     #[test]

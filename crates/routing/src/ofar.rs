@@ -29,6 +29,7 @@
 //! local misrouting disabled.
 
 use crate::common::{group_pos, hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
 use ofar_engine::{
     InputCtx, Packet, Policy, PortKind, Request, RequestKind, RouterView, SimConfig,
     FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,
@@ -139,6 +140,7 @@ pub struct OfarPolicy {
     vcs_injection: usize,
     ofar: OfarConfig,
     rng: SmallRng,
+    probe: ProbeState,
 }
 
 impl OfarPolicy {
@@ -159,6 +161,7 @@ impl OfarPolicy {
             vcs_injection: cfg.vcs_injection,
             ofar,
             rng: SmallRng::seed_from_u64(seed ^ 0x0FA2), // "OFAR"
+            probe: ProbeState::default(),
         }
     }
 
@@ -203,14 +206,24 @@ impl OfarPolicy {
         exclude: usize,
         admit: impl Fn(f64) -> bool,
     ) -> Option<usize> {
+        // Probed (conformance checking): materialize the admissible list
+        // — same filter as below — and take the pinned index. Only the
+        // deciding pick of a call has a nonempty list (every earlier one
+        // fell through empty), so the max is its size.
+        if let Some(pin) = self.probe.pin {
+            let cands: Vec<usize> = ports
+                .filter(|&port| {
+                    port != exclude && view.available(port, vc) && admit(view.occupancy(port, vc))
+                })
+                .collect();
+            self.probe.feedback.candidates = self.probe.feedback.candidates.max(cands.len() as u32);
+            return (!cands.is_empty()).then(|| cands[pin.candidate % cands.len()]);
+        }
         // Reservoir-sample uniformly without allocating.
         let mut chosen = None;
         let mut seen = 0u32;
         for port in ports {
-            if port == exclude
-                || !view.available(port, vc)
-                || !admit(view.occupancy(port, vc))
-            {
+            if port == exclude || !view.available(port, vc) || !admit(view.occupancy(port, vc)) {
                 continue;
             }
             seen += 1;
@@ -446,7 +459,9 @@ impl Policy for OfarPolicy {
         let threshold = self.ofar.threshold;
         let admit = move |occ: f64| threshold.admits(occ, q_min);
         if try_local {
-            let vc = self.ladder.local_vc(pkt, crate::common::group_pos(view, pkt));
+            let vc = self
+                .ladder
+                .local_vc(pkt, crate::common::group_pos(view, pkt));
             let ports = (0..a - 1).map(|j| fab.local_out(j));
             if let Some(port) = self.pick_candidate(view, ports, vc, min_port, admit) {
                 return Some(Request::new(port, vc, RequestKind::MisrouteLocal));
@@ -485,6 +500,19 @@ impl Policy for OfarPolicy {
     }
 }
 
+impl EnumerablePolicy for OfarPolicy {
+    fn set_probe(&mut self, pin: Option<ProbePin>) {
+        self.probe = ProbeState {
+            pin,
+            feedback: ProbeFeedback::default(),
+        };
+    }
+
+    fn probe_feedback(&self) -> ProbeFeedback {
+        self.probe.feedback
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,7 +531,10 @@ mod tests {
         assert!(!v.admits(0.25, 0.5));
         assert!(v.admits(0.24, 0.5));
         // … and inclusive for the static one
-        let st = MisrouteThreshold::Static { th_min: 1.0, th_nonmin: 0.4 };
+        let st = MisrouteThreshold::Static {
+            th_min: 1.0,
+            th_nonmin: 0.4,
+        };
         assert!(st.admits(0.4, 0.9));
         assert!(!st.admits(0.41, 0.9));
         let s = MisrouteThreshold::Static {

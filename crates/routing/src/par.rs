@@ -16,6 +16,7 @@
 //! deadlock argument intact for the (up to) two source-group local hops.
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
     InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig, FLAG_AUX,
@@ -49,6 +50,7 @@ pub struct ParPolicy {
     groups: usize,
     par: ParConfig,
     rng: SmallRng,
+    probe: ProbeState,
 }
 
 impl ParPolicy {
@@ -70,6 +72,7 @@ impl ParPolicy {
             groups: cfg.params.groups(),
             par: ParConfig::default(),
             rng: SmallRng::seed_from_u64(seed ^ 0x504152), // "PAR"
+            probe: ProbeState::default(),
         }
     }
 
@@ -84,12 +87,12 @@ impl ParPolicy {
 
     /// Divert `pkt` onto a Valiant path from the current router.
     fn divert(&mut self, _view: &RouterView<'_>, pkt: &mut Packet, src: GroupId, dst: GroupId) {
-        pkt.intermediate = Some(ValiantPolicy::pick_intermediate(
-            &mut self.rng,
-            self.groups,
-            src,
-            dst,
-        ));
+        let Self {
+            probe, rng, groups, ..
+        } = self;
+        pkt.intermediate = Some(
+            probe.intermediate_or(|| ValiantPolicy::pick_intermediate(rng, *groups, src, dst)),
+        );
     }
 }
 
@@ -124,7 +127,13 @@ impl Policy for ParPolicy {
             }
         }
         if let Some(hop) = live_minimal_hop(view, pkt) {
-            return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+            return Some(hop_to_request(
+                view,
+                pkt,
+                hop,
+                &self.ladder,
+                RequestKind::Minimal,
+            ));
         }
         // Current leg severed by a fault. In the source group, divert to
         // a Valiant path (PAR may re-decide there); mid-route, drop a
@@ -132,9 +141,7 @@ impl Policy for ParPolicy {
         let topo = view.fab.topo();
         let src_group = topo.group_of_node(pkt.src);
         let dst_group = topo.group_of_node(pkt.dst);
-        if pkt.intermediate.take().is_none()
-            && view.group() == src_group
-            && src_group != dst_group
+        if pkt.intermediate.take().is_none() && view.group() == src_group && src_group != dst_group
         {
             pkt.clear(FLAG_AUX);
             self.divert(view, pkt, src_group, dst_group);
@@ -161,6 +168,19 @@ impl Policy for ParPolicy {
             }
         }
         injection_vc(self.vcs_injection, pkt)
+    }
+}
+
+impl EnumerablePolicy for ParPolicy {
+    fn set_probe(&mut self, pin: Option<ProbePin>) {
+        self.probe = ProbeState {
+            pin,
+            feedback: ProbeFeedback::default(),
+        };
+    }
+
+    fn probe_feedback(&self) -> ProbeFeedback {
+        self.probe.feedback
     }
 }
 

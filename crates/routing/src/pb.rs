@@ -19,6 +19,7 @@
 //! best value found there.
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
     InputCtx, NetSnapshot, Packet, Policy, Request, RequestKind, RouterView, SimConfig,
@@ -63,6 +64,7 @@ pub struct PbPolicy {
     /// `router · h + k`. Stale by up to `update_period` cycles.
     visible: Vec<f32>,
     rng: SmallRng,
+    probe: ProbeState,
 }
 
 impl PbPolicy {
@@ -81,6 +83,7 @@ impl PbPolicy {
             pb,
             visible: vec![0.0; cfg.params.routers() * cfg.params.h],
             rng: SmallRng::seed_from_u64(seed ^ 0x5042), // "PB"
+            probe: ProbeState::default(),
         }
     }
 
@@ -109,14 +112,26 @@ impl Policy for PbPolicy {
         pkt: &mut Packet,
     ) -> Option<Request> {
         if let Some(hop) = live_minimal_hop(view, pkt) {
-            return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+            return Some(hop_to_request(
+                view,
+                pkt,
+                hop,
+                &self.ladder,
+                RequestKind::Minimal,
+            ));
         }
         // The committed path died under the packet. PB's decision is
         // final at injection, but a dead Valiant leg would strand the
         // packet forever — fall back to the destination path, like VAL.
         if pkt.intermediate.take().is_some() {
             if let Some(hop) = live_minimal_hop(view, pkt) {
-                return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+                return Some(hop_to_request(
+                    view,
+                    pkt,
+                    hop,
+                    &self.ladder,
+                    RequestKind::Minimal,
+                ));
             }
         }
         None
@@ -128,8 +143,12 @@ impl Policy for PbPolicy {
         let dst_group = topo.group_of_node(pkt.dst);
         if src_group != dst_group && pkt.intermediate.is_none() {
             // Candidate Valiant path through one random intermediate.
-            let inter =
-                ValiantPolicy::pick_intermediate(&mut self.rng, self.groups, src_group, dst_group);
+            let Self {
+                probe, rng, groups, ..
+            } = self;
+            let inter = probe.intermediate_or(|| {
+                ValiantPolicy::pick_intermediate(rng, *groups, src_group, dst_group)
+            });
             // Decision from (possibly stale) broadcast flags: misroute
             // only when the minimal channel is saturated and the Valiant
             // channel is not. A live refinement applies when the minimal
@@ -163,6 +182,19 @@ impl Policy for PbPolicy {
                     net.global_out_occupancy(RouterId::from(r), k) as f32;
             }
         }
+    }
+}
+
+impl EnumerablePolicy for PbPolicy {
+    fn set_probe(&mut self, pin: Option<ProbePin>) {
+        self.probe = ProbeState {
+            pin,
+            feedback: ProbeFeedback::default(),
+        };
+    }
+
+    fn probe_feedback(&self) -> ProbeFeedback {
+        self.probe.feedback
     }
 }
 
@@ -208,6 +240,10 @@ mod tests {
         // some deliveries took more than 3 hops → Valiant paths used
         let s = net.stats();
         assert!(s.delivered_packets > 1000);
-        assert!(s.avg_hops() > 3.01, "PB never diverted (avg hops {})", s.avg_hops());
+        assert!(
+            s.avg_hops() > 3.01,
+            "PB never diverted (avg hops {})",
+            s.avg_hops()
+        );
     }
 }

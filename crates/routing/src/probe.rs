@@ -1,0 +1,93 @@
+//! Enumerable decision probing for the conformance model checker.
+//!
+//! The randomized mechanisms (VAL, PB, PAR, OFAR) make two kinds of
+//! random choices: an *intermediate group* for Valiant-style paths and a
+//! uniform pick among admissible *misroute candidate ports*. Exhaustive
+//! conformance checking (`ofar-verify`) must enumerate every choice the
+//! policy could make, not sample one — so each policy implements
+//! [`EnumerablePolicy`]: while a [`ProbePin`] is installed the policy
+//! substitutes the pinned choice for its RNG draw and reports, via
+//! [`ProbeFeedback`], which choices were actually consulted and how many
+//! candidates were admissible. The admissibility logic itself (§IV-B
+//! thresholds, availability, flag gates) is untouched: only the final
+//! uniform pick is replaced, so the observed transition set equals the
+//! union over all RNG outcomes.
+//!
+//! Unprobed (the normal simulator path) the hooks cost one `Option`
+//! check and the hot reservoir-sampling path is unchanged.
+
+use ofar_engine::Policy;
+use ofar_topology::GroupId;
+
+/// A pinned outcome for every random choice one `route`/`on_inject` call
+/// could make.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbePin {
+    /// The intermediate group to use wherever the policy would sample
+    /// one. The caller must pass a group that the policy's own sampler
+    /// could produce (≠ source and destination groups).
+    pub intermediate: GroupId,
+    /// Index into the admissible-candidate list (in port order) wherever
+    /// the policy would pick uniformly; taken modulo the list length.
+    pub candidate: usize,
+}
+
+impl ProbePin {
+    /// A pin selecting candidate 0 and `intermediate` where sampled.
+    pub fn new(intermediate: GroupId, candidate: usize) -> Self {
+        Self {
+            intermediate,
+            candidate,
+        }
+    }
+}
+
+/// What the last probed `route`/`on_inject` call actually consulted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeFeedback {
+    /// The call sampled an intermediate group (so every valid group is a
+    /// distinct outcome to enumerate).
+    pub intermediate_sampled: bool,
+    /// Size of the admissible-candidate list of the *deciding* uniform
+    /// pick — 0 when no pick happened or the list was empty. (Within one
+    /// call, earlier picks that found no candidate fall through to the
+    /// next; only the pick that found candidates decides, so the maximum
+    /// over the call's picks is exactly its list size.)
+    pub candidates: u32,
+}
+
+/// A [`Policy`] whose random choices can be pinned and enumerated.
+///
+/// Protocol: install a pin with [`EnumerablePolicy::set_probe`] (which
+/// also clears the feedback), call `route` or `on_inject` once, then
+/// read [`EnumerablePolicy::probe_feedback`] to learn which further pins
+/// must be enumerated. `set_probe(None)` restores normal RNG behavior.
+pub trait EnumerablePolicy: Policy {
+    /// Install (or clear) the pinned choices; resets the feedback.
+    fn set_probe(&mut self, pin: Option<ProbePin>);
+
+    /// Feedback from the most recent probed call.
+    fn probe_feedback(&self) -> ProbeFeedback;
+}
+
+/// Per-policy probe state: the installed pin plus the feedback of the
+/// last call. Deterministic policies keep the default (no-op) state.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ProbeState {
+    pub(crate) pin: Option<ProbePin>,
+    pub(crate) feedback: ProbeFeedback,
+}
+
+impl ProbeState {
+    /// Resolve an intermediate-group sample: the pinned group when
+    /// probed (recording that the sample happened), else `fallback()`.
+    pub(crate) fn intermediate_or(&mut self, fallback: impl FnOnce() -> GroupId) -> GroupId {
+        match self.pin {
+            Some(pin) => {
+                self.feedback.intermediate_sampled = true;
+                pin.intermediate
+            }
+            None => fallback(),
+        }
+    }
+}

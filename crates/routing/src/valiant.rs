@@ -13,6 +13,7 @@
 //! links, capping throughput at `1/h`.
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
+use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
 use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 use ofar_topology::GroupId;
 use rand::rngs::SmallRng;
@@ -25,6 +26,7 @@ pub struct ValiantPolicy {
     vcs_injection: usize,
     groups: usize,
     rng: SmallRng,
+    probe: ProbeState,
 }
 
 impl ValiantPolicy {
@@ -35,6 +37,7 @@ impl ValiantPolicy {
             vcs_injection: cfg.vcs_injection,
             groups: cfg.params.groups(),
             rng: SmallRng::seed_from_u64(seed ^ 0x56414C), // "VAL"
+            probe: ProbeState::default(),
         }
     }
 
@@ -68,7 +71,13 @@ impl Policy for ValiantPolicy {
         pkt: &mut Packet,
     ) -> Option<Request> {
         if let Some(hop) = live_minimal_hop(view, pkt) {
-            return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+            return Some(hop_to_request(
+                view,
+                pkt,
+                hop,
+                &self.ladder,
+                RequestKind::Minimal,
+            ));
         }
         // The leg towards the Valiant intermediate died under the packet:
         // drop the intermediate and head straight for the destination
@@ -77,7 +86,13 @@ impl Policy for ValiantPolicy {
         // report the partition.
         if pkt.intermediate.take().is_some() {
             if let Some(hop) = live_minimal_hop(view, pkt) {
-                return Some(hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal));
+                return Some(hop_to_request(
+                    view,
+                    pkt,
+                    hop,
+                    &self.ladder,
+                    RequestKind::Minimal,
+                ));
             }
         }
         None
@@ -88,14 +103,28 @@ impl Policy for ValiantPolicy {
         let src_group = topo.group_of_node(pkt.src);
         let dst_group = topo.group_of_node(pkt.dst);
         if src_group != dst_group && pkt.intermediate.is_none() {
-            pkt.intermediate = Some(Self::pick_intermediate(
-                &mut self.rng,
-                self.groups,
-                src_group,
-                dst_group,
-            ));
+            let Self {
+                probe, rng, groups, ..
+            } = self;
+            pkt.intermediate =
+                Some(probe.intermediate_or(|| {
+                    Self::pick_intermediate(rng, *groups, src_group, dst_group)
+                }));
         }
         injection_vc(self.vcs_injection, pkt)
+    }
+}
+
+impl EnumerablePolicy for ValiantPolicy {
+    fn set_probe(&mut self, pin: Option<ProbePin>) {
+        self.probe = ProbeState {
+            pin,
+            feedback: ProbeFeedback::default(),
+        };
+    }
+
+    fn probe_feedback(&self) -> ProbeFeedback {
+        self.probe.feedback
     }
 }
 
@@ -137,15 +166,18 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut counts = [0u32; 9];
         for _ in 0..9000 {
-            let g =
-                ValiantPolicy::pick_intermediate(&mut rng, 9, GroupId::new(0), GroupId::new(4));
+            let g = ValiantPolicy::pick_intermediate(&mut rng, 9, GroupId::new(0), GroupId::new(4));
             counts[g.idx()] += 1;
         }
         assert_eq!(counts[0], 0);
         assert_eq!(counts[4], 0);
         for g in [1, 2, 3, 5, 6, 7, 8] {
             // 9000/7 ≈ 1286 each; allow ±20%
-            assert!((1000..1600).contains(&counts[g]), "group {g}: {}", counts[g]);
+            assert!(
+                (1000..1600).contains(&counts[g]),
+                "group {g}: {}",
+                counts[g]
+            );
         }
     }
 }

@@ -177,7 +177,10 @@ fn max_ring_exits_bounds_abandonments() {
         net.step();
     }
     let s = net.stats();
-    assert!(s.ring_entries > 0, "pressure must push packets onto the ring");
+    assert!(
+        s.ring_entries > 0,
+        "pressure must push packets onto the ring"
+    );
     assert_eq!(s.ring_exits, 0, "exits are forbidden at max_ring_exits = 0");
     assert_eq!(s.ring_entries, s.ring_deliveries + net.in_flight_on_ring());
 }

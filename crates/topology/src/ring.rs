@@ -224,7 +224,10 @@ impl HamiltonianRing {
             }
             let next = self.order[(i + 1) % n];
             if e.to(topo) != next {
-                return Err(format!("edge {i} lands on {:?}, expected {next}", e.to(topo)));
+                return Err(format!(
+                    "edge {i} lands on {:?}, expected {next}",
+                    e.to(topo)
+                ));
             }
         }
         Ok(())
@@ -426,7 +429,10 @@ mod tests {
             HamiltonianRing::surviving_rings(&topo, &rings, &[(a, b)]),
             HamiltonianRing::surviving_rings(&topo, &rings, &[(b, a)]),
         );
-        assert_eq!(HamiltonianRing::surviving_rings(&topo, &rings, &[(b, a)]), 2);
+        assert_eq!(
+            HamiltonianRing::surviving_rings(&topo, &rings, &[(b, a)]),
+            2
+        );
     }
 
     #[test]

@@ -286,9 +286,7 @@ mod tests {
         let topo = Dragonfly::balanced(2);
         let link = topo.global_links().next().unwrap();
         let (src, dst) = (link.src, link.dst);
-        let dead = move |x: RouterId, y: RouterId| {
-            (x, y) == (src, dst) || (x, y) == (dst, src)
-        };
+        let dead = move |x: RouterId, y: RouterId| (x, y) == (src, dst) || (x, y) == (dst, src);
         // From the exit router itself, the target group is minimally
         // unreachable once its one global link is dead.
         let gd = topo.group_of(dst);

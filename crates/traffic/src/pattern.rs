@@ -160,7 +160,8 @@ impl TrafficGen {
             TrafficPattern::Adversarial { offset } => {
                 let src_group = src.idx() / self.nodes_per_group;
                 let dst_group = (src_group + offset) % self.groups;
-                let d = dst_group * self.nodes_per_group + self.rng.gen_range(0..self.nodes_per_group);
+                let d =
+                    dst_group * self.nodes_per_group + self.rng.gen_range(0..self.nodes_per_group);
                 debug_assert_ne!(d, src.idx(), "ADV offset ≥ 1 never self-targets");
                 NodeId::from(d)
             }
@@ -247,7 +248,10 @@ mod tests {
             assert_ne!(d, src);
             group_seen[topo.group_of_node(d).idx()] = true;
         }
-        assert!(group_seen.iter().all(|&s| s), "uniform must reach all groups");
+        assert!(
+            group_seen.iter().all(|&s| s),
+            "uniform must reach all groups"
+        );
     }
 
     #[test]

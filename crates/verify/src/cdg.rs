@@ -42,7 +42,9 @@ impl Cdg {
         // Class-level successor lists, indexed by class slot.
         let mut class_succ: Vec<Vec<ClassId>> = vec![Vec::new(); classes];
         for e in &decl.edges {
-            let Some(slot) = slot_of(e.from, vl, vg) else { continue };
+            let Some(slot) = slot_of(e.from, vl, vg) else {
+                continue;
+            };
             if matches!(e.to, ClassId::Local { .. } | ClassId::Global { .. })
                 && slot_of(e.to, vl, vg).is_some()
                 && !class_succ[slot].contains(&e.to)
@@ -171,7 +173,10 @@ impl Cdg {
     /// Falls back to the component's representative cycle if the class is
     /// not in the component.
     pub fn cycle_through(&self, scc: &CyclicScc, class: ClassId) -> Vec<ChannelRef> {
-        let Some(&start) = scc.members.iter().find(|&&v| self.class_of(v as usize) == class)
+        let Some(&start) = scc
+            .members
+            .iter()
+            .find(|&&v| self.class_of(v as usize) == class)
         else {
             return scc.cycle.clone();
         };

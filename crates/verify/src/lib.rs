@@ -32,17 +32,23 @@
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
 
 mod cdg;
+mod explore;
+mod ranking;
 mod report;
 mod ring_spec;
 
-pub use report::{Certificate, ChannelRef, VerifyError};
+pub use ranking::RankingKind;
+pub use report::{
+    Certificate, ChannelRef, ConformanceError, ConformanceReport, TransitionWitness, VerifyError,
+};
 pub use ring_spec::RingSpec;
 
 use cdg::Cdg;
 use ofar_engine::{ConfigError, RingMode, SimConfig};
-use ofar_routing::{DependencyDecl, MechanismDeps, MechanismKind};
+use ofar_routing::{DependencyDecl, EnumerablePolicy, MechanismDeps, MechanismKind};
 use ofar_topology::{Dragonfly, HamiltonianRing};
 use std::sync::Mutex;
 
@@ -97,6 +103,72 @@ pub fn certify_cached(cfg: &SimConfig, kind: MechanismKind) -> Result<Certificat
         cache.push((key, result.clone()));
     }
     result
+}
+
+/// Run the routing-conformance model checker for one `(configuration,
+/// mechanism)` pair: first [`certify`] the *declared* dependency graph,
+/// then exhaustively drive the mechanism's real `on_inject`/`route` code
+/// over the reachable abstract decision space and prove that
+///
+/// 1. every observed class transition is declared
+///    ([`ConformanceError::UndeclaredTransition`] otherwise);
+/// 2. every decision strictly decreases the mechanism's well-founded
+///    ranking — livelock freedom with a static hop bound
+///    ([`ConformanceError::RankingViolation`] otherwise);
+/// 3. the observed (tighter) graph re-certifies under the same CDG
+///    obligations ([`ConformanceError::ObservedGraphRejected`]).
+///
+/// The seed is irrelevant: all randomized choices are enumerated through
+/// the [`EnumerablePolicy`] probe hooks rather than sampled.
+pub fn conformance(
+    cfg: &SimConfig,
+    kind: MechanismKind,
+) -> Result<ConformanceReport, ConformanceError> {
+    certify(cfg, kind)?;
+    let policy = kind.build(cfg, 0);
+    let decl = kind.dependency_decl(cfg);
+    explore::conformance_with(cfg, policy, decl, RankingKind::for_mechanism(kind))
+}
+
+/// [`conformance`] with a process-wide memo table keyed on the
+/// configuration (seed excluded — the exploration enumerates random
+/// choices instead of sampling them).
+pub fn conformance_cached(
+    cfg: &SimConfig,
+    kind: MechanismKind,
+) -> Result<ConformanceReport, ConformanceError> {
+    type Key = (MechanismKind, SimConfig);
+    static CACHE: Mutex<Vec<(Key, Result<ConformanceReport, ConformanceError>)>> =
+        Mutex::new(Vec::new());
+    let mut key_cfg = *cfg;
+    key_cfg.seed = 0;
+    let key = (kind, key_cfg);
+    {
+        let cache = CACHE.lock().expect("conformance cache poisoned");
+        if let Some((_, r)) = cache.iter().find(|(k, _)| *k == key) {
+            return r.clone();
+        }
+    }
+    let result = conformance(cfg, kind);
+    let mut cache = CACHE.lock().expect("conformance cache poisoned");
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.push((key, result.clone()));
+    }
+    result
+}
+
+/// The low-level conformance checker: explore an arbitrary
+/// [`EnumerablePolicy`] against an explicit declaration and ranking. This
+/// is the entry point for feeding deliberately buggy policies (mutants)
+/// that [`conformance`] can never build — the checker must reject them
+/// with a named witness.
+pub fn conformance_with<P: EnumerablePolicy>(
+    cfg: &SimConfig,
+    policy: P,
+    decl: MechanismDeps,
+    rank: RankingKind,
+) -> Result<ConformanceReport, ConformanceError> {
+    explore::conformance_with(cfg, policy, decl, rank)
 }
 
 /// The low-level verifier: discharge the proof obligations for an
@@ -236,7 +308,11 @@ mod tests {
         let decl = MechanismKind::Ofar.dependency_decl(&cfg);
         let err = verify_decl(&topo, &cfg, &decl, &[spec]).unwrap_err();
         match err {
-            VerifyError::MalformedRing { ring: 0, ref witness, .. } => {
+            VerifyError::MalformedRing {
+                ring: 0,
+                ref witness,
+                ..
+            } => {
                 assert!(!witness.is_empty(), "witness routers named");
             }
             ref other => panic!("expected MalformedRing, got {other:?}"),
@@ -271,7 +347,9 @@ mod tests {
         });
         let err = verify_decl(&topo, &cfg, &decl, &[spec]).unwrap_err();
         match err {
-            VerifyError::NoEscapeDrain { class, ref cycle, .. } => {
+            VerifyError::NoEscapeDrain {
+                class, ref cycle, ..
+            } => {
                 assert_eq!(class, ClassId::Global { vc: 0 });
                 assert!(cycle.iter().any(|c| c.class() == class));
             }

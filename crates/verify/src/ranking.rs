@@ -1,0 +1,391 @@
+//! Well-founded ranking functions for the livelock-freedom proof.
+//!
+//! For each mechanism the conformance explorer needs a potential
+//! `Φ(state)` over the abstract packet states such that **every** routing
+//! decision the real code can emit strictly decreases it — then no
+//! infinite canonical path exists and `max Φ` over the reachable states
+//! is a static worst-case hop bound. The potentials here are derived
+//! from the paper's path-length arguments:
+//!
+//! * **MIN** — remaining minimal router distance (`≤ 3`: `l g l`).
+//! * **VAL/PB** — distance to the pending Valiant intermediate group
+//!   plus the worst 3-hop tail from there (`≤ 5`: `l g l g l`).
+//! * **PAR** — a provisional (`FLAG_AUX`) packet first walks to the
+//!   router hosting its minimal global channel, where the worst case is
+//!   a fresh Valiant diversion (`≤ 6`: `l l' g l g l`).
+//! * **OFAR / OFAR-L** — the §IV-A misroute-flag recursion: at most one
+//!   global misroute per packet and one local misroute per group, with
+//!   the source-group starvation rule ("local, then committed to a
+//!   global exit"). The worst chain is `l, l_mis, g_mis, l, l_mis, g,
+//!   l, l_mis` — 6 local + 2 global = 8 for OFAR, 5 for OFAR-L.
+//!
+//! Escape-ring travel is ranked separately (see
+//! [`RankingKind::ring_bound`]): `Φ_total = C·ring_exits_left + N +
+//! Φ_can` off-ring and `C·ring_exits_left + ring_dist` on-ring, with
+//! `C = N + 9 > N + max Φ_can`, makes every `RingEnter`, `RingAdvance`
+//! and (budgeted) `RingExit` strictly decreasing too. The explorer
+//! checks the component inequalities per observed transition instead of
+//! materializing `Φ_total`, so the proof holds for any exit budget.
+
+use ofar_engine::{Packet, FLAG_AUX, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED};
+use ofar_routing::MechanismKind;
+use ofar_topology::{Dragonfly, HamiltonianRing, RouterId};
+
+/// Which ranking recursion a mechanism is proved against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankingKind {
+    /// Remaining minimal distance (MIN).
+    Minimal,
+    /// Valiant two-phase distance (VAL, PB — committed at injection).
+    Valiant,
+    /// PAR's provisional-decision walk plus the Valiant phases.
+    Par,
+    /// OFAR misroute-flag recursion.
+    Ofar {
+        /// Whether local misrouting is enabled (OFAR vs OFAR-L).
+        local_misroute: bool,
+    },
+}
+
+impl RankingKind {
+    /// The ranking for a mechanism.
+    pub fn for_mechanism(kind: MechanismKind) -> Self {
+        match kind {
+            MechanismKind::Min => RankingKind::Minimal,
+            MechanismKind::Valiant | MechanismKind::Pb => RankingKind::Valiant,
+            MechanismKind::Par => RankingKind::Par,
+            MechanismKind::Ofar => RankingKind::Ofar {
+                local_misroute: true,
+            },
+            MechanismKind::OfarL => RankingKind::Ofar {
+                local_misroute: false,
+            },
+        }
+    }
+
+    /// The canonical potential of `pkt` waiting at `router`: an upper
+    /// bound on the canonical (non-ring) hops the mechanism can still
+    /// take, decreasing by at least one on every decision. `inject` is
+    /// true while the packet still waits in an injection queue (the
+    /// §IV-A starvation rule gives injection queues a different misroute
+    /// class than local queues).
+    pub fn phi(&self, topo: &Dragonfly, pkt: &Packet, router: RouterId, inject: bool) -> u64 {
+        match *self {
+            RankingKind::Minimal => dist(topo, pkt, router),
+            RankingKind::Valiant => valiant_phi(topo, pkt, router),
+            RankingKind::Par => par_phi(topo, pkt, router),
+            RankingKind::Ofar { local_misroute } => {
+                ofar_phi(topo, pkt, router, local_misroute, inject)
+            }
+        }
+    }
+
+    /// The paper's worst-case canonical path length for this ranking —
+    /// what `max Φ` over the reachable states must come out to.
+    pub fn paper_bound(&self) -> u64 {
+        match *self {
+            RankingKind::Minimal => 3,
+            RankingKind::Valiant => 5,
+            RankingKind::Par => 6,
+            RankingKind::Ofar {
+                local_misroute: true,
+            } => 8,
+            RankingKind::Ofar {
+                local_misroute: false,
+            } => 5,
+        }
+    }
+
+    /// Total worst-case hops *including* escape-ring travel for a ring of
+    /// `ring_len` routers and an exit budget of `max_exits`:
+    /// `Φ_total = (N + 9)·exits + N + Φ_can` evaluated at the worst
+    /// off-ring state. `None` for ladder mechanisms (no ring).
+    pub fn ring_bound(&self, ring_len: usize, max_exits: u8, canonical: u64) -> Option<u64> {
+        match *self {
+            RankingKind::Ofar { .. } => {
+                let n = ring_len as u64;
+                Some((n + 9) * u64::from(max_exits) + n + canonical)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Remaining minimal router distance.
+fn dist(topo: &Dragonfly, pkt: &Packet, router: RouterId) -> u64 {
+    topo.min_router_hops(router, topo.router_of_node(pkt.dst)) as u64
+}
+
+/// Router distance to some router of `group`: 0 inside it, 1 when
+/// `router` hosts the global link into it, else 2 (local hop to the
+/// hosting router first — groups are cliques).
+fn dist_to_group(topo: &Dragonfly, router: RouterId, group: ofar_topology::GroupId) -> u64 {
+    let here = topo.group_of(router);
+    if here == group {
+        0
+    } else if topo.global_link_from(here, group).0 == router {
+        1
+    } else {
+        2
+    }
+}
+
+/// VAL/PB: with a pending intermediate, distance to the intermediate
+/// group plus the worst `l g l` tail; else the plain minimal distance.
+fn valiant_phi(topo: &Dragonfly, pkt: &Packet, router: RouterId) -> u64 {
+    match pkt.intermediate {
+        Some(inter) if topo.group_of(router) != inter => dist_to_group(topo, router, inter) + 3,
+        _ => dist(topo, pkt, router),
+    }
+}
+
+/// PAR: a provisional (`FLAG_AUX`) packet first walks minimally to the
+/// router hosting the minimal global channel, where the worst outcome is
+/// a fresh Valiant diversion (`Φ = 5` from the host).
+fn par_phi(topo: &Dragonfly, pkt: &Packet, router: RouterId) -> u64 {
+    let src_group = topo.group_of_node(pkt.src);
+    let dst_group = topo.group_of_node(pkt.dst);
+    if pkt.has(FLAG_AUX) && src_group != dst_group {
+        let (host, _) = topo.global_link_from(src_group, dst_group);
+        topo.min_router_hops(router, host) as u64 + 5
+    } else {
+        valiant_phi(topo, pkt, router)
+    }
+}
+
+/// Worst destination-group cost after *entering* the group (landing
+/// clears the local-misroute flag): one minimal hop plus one optional
+/// local misroute.
+fn dst_after_land(lm: bool) -> u64 {
+    1 + u64::from(lm)
+}
+
+/// Intermediate-group cost: `at_host` means this router hosts the global
+/// link towards the destination group; `la` whether a local misroute is
+/// still available here.
+fn w_int(at_host: bool, la: bool, lm: bool) -> u64 {
+    if at_host {
+        1 + dst_after_land(lm)
+    } else if la {
+        // local misroute, then the la-exhausted non-host case
+        1 + (2 + dst_after_land(lm))
+    } else {
+        2 + dst_after_land(lm)
+    }
+}
+
+/// Worst landing after a global misroute: an intermediate group at a
+/// non-hosting router, with the local-misroute flag freshly cleared.
+fn int_after_misroute(lm: bool) -> u64 {
+    w_int(false, lm, lm)
+}
+
+/// Destination-group cost for the packet as it stands.
+fn w_dst(d: u64, la: bool) -> u64 {
+    d + u64::from(la && d >= 1)
+}
+
+/// Source-group recursion over the §IV-A option sets. `min_local` is
+/// whether the minimal hop from here is a local one (the router does not
+/// host the minimal global channel).
+fn src_phi(min_local: bool, lmf: bool, gmf: bool, inject: bool, lm: bool) -> u64 {
+    if lmf && !gmf && min_local {
+        // Starvation rule: after its source-group local misroute the
+        // packet is committed to a global exit of the current router.
+        return 1 + int_after_misroute(lm);
+    }
+    let try_local = lm && !lmf && !inject;
+    let try_global = !gmf && !try_local;
+    let min_opt = if min_local {
+        1 + src_phi(false, lmf, gmf, false, lm)
+    } else {
+        1 + dst_after_land(lm)
+    };
+    let mut best = min_opt;
+    if try_local {
+        // The landing router may or may not host the minimal channel.
+        let near = src_phi(false, true, gmf, false, lm);
+        let far = src_phi(true, true, gmf, false, lm);
+        best = best.max(1 + near.max(far));
+    }
+    if try_global {
+        best = best.max(1 + int_after_misroute(lm));
+    }
+    best
+}
+
+/// OFAR canonical potential by group position.
+fn ofar_phi(topo: &Dragonfly, pkt: &Packet, router: RouterId, lm: bool, inject: bool) -> u64 {
+    let here = topo.group_of(router);
+    let src_group = topo.group_of_node(pkt.src);
+    let dst_group = topo.group_of_node(pkt.dst);
+    let lmf = pkt.has(FLAG_LOCAL_MISROUTED);
+    let gmf = pkt.has(FLAG_GLOBAL_MISROUTED);
+    let la = lm && !lmf;
+    if here == dst_group {
+        return w_dst(dist(topo, pkt, router), la);
+    }
+    if here != src_group {
+        let at_host = topo.global_link_from(here, dst_group).0 == router;
+        return w_int(at_host, la, lm);
+    }
+    let min_local = topo.global_link_from(src_group, dst_group).0 != router;
+    src_phi(min_local, lmf, gmf, inject, lm)
+}
+
+/// Position of `router` along `ring`, measured as hops *remaining* until
+/// the ring reaches `dst` — the on-ring component of `Φ_total`.
+pub(crate) fn ring_dist(ring: &HamiltonianRing, router: RouterId, dst: RouterId) -> u64 {
+    let n = ring.len();
+    ((ring.position_of(dst) + n - ring.position_of(router)) % n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofar_engine::SimConfig;
+    use ofar_topology::GroupId;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(SimConfig::paper(2).params)
+    }
+
+    fn pkt(topo: &Dragonfly, src_r: usize, dst_r: usize) -> Packet {
+        Packet {
+            id: 0,
+            injected_at: 0,
+            src: topo.first_node_of(RouterId::from(src_r)),
+            dst: topo.first_node_of(RouterId::from(dst_r)),
+            intermediate: None,
+            flags: 0,
+            ring_exits_left: 4,
+            local_hops: 0,
+            global_hops: 0,
+            ring_hops: 0,
+            wait: 0,
+            cur_group: topo.group_of(RouterId::from(src_r)),
+        }
+    }
+
+    #[test]
+    fn paper_bounds_match_the_path_length_table() {
+        assert_eq!(RankingKind::Minimal.paper_bound(), 3);
+        assert_eq!(RankingKind::Valiant.paper_bound(), 5);
+        assert_eq!(RankingKind::Par.paper_bound(), 6);
+        assert_eq!(
+            RankingKind::Ofar {
+                local_misroute: true
+            }
+            .paper_bound(),
+            8
+        );
+        assert_eq!(
+            RankingKind::Ofar {
+                local_misroute: false
+            }
+            .paper_bound(),
+            5
+        );
+    }
+
+    #[test]
+    fn worst_initial_states_reach_exactly_the_bounds() {
+        let t = topo();
+        // src router 1 of group 0 and a far destination: minimal path is
+        // the full l g l, and router 1 does not host the minimal link for
+        // every destination group — pick one where it does not.
+        let far = (0..t.num_routers())
+            .map(RouterId::from)
+            .find(|&r| {
+                let g = t.group_of(r);
+                g != GroupId::new(0) && t.min_router_hops(RouterId::new(0), r) == 3
+            })
+            .expect("a distance-3 destination exists");
+        let p = pkt(&t, 0, far.idx());
+        assert_eq!(RankingKind::Minimal.phi(&t, &p, RouterId::new(0), true), 3);
+        assert_eq!(
+            RankingKind::Ofar {
+                local_misroute: true
+            }
+            .phi(&t, &p, RouterId::new(0), true),
+            8
+        );
+        assert_eq!(
+            RankingKind::Ofar {
+                local_misroute: false
+            }
+            .phi(&t, &p, RouterId::new(0), true),
+            5
+        );
+        // a pending Valiant intermediate two hops away: 2 + 3
+        let mut v = p;
+        let inter = (0..t.num_groups())
+            .map(GroupId::from)
+            .find(|&g| {
+                g != t.group_of_node(v.src)
+                    && g != t.group_of_node(v.dst)
+                    && t.global_link_from(GroupId::new(0), g).0 != RouterId::new(0)
+            })
+            .expect("a non-hosted intermediate exists");
+        v.intermediate = Some(inter);
+        assert_eq!(RankingKind::Valiant.phi(&t, &v, RouterId::new(0), true), 5);
+        // PAR provisional packet one local hop from the hosting router
+        let mut a = p;
+        a.set(FLAG_AUX);
+        let host = t
+            .global_link_from(GroupId::new(0), t.group_of_node(a.dst))
+            .0;
+        let not_host = (0..4)
+            .map(|i| t.router_at(GroupId::new(0), i))
+            .find(|&r| r != host)
+            .expect("group has non-hosting routers");
+        assert_eq!(RankingKind::Par.phi(&t, &a, not_host, true), 6);
+    }
+
+    #[test]
+    fn ofar_flags_monotonically_lower_the_potential() {
+        // Spending a misroute flag can never raise the remaining budget.
+        let t = topo();
+        let far = RouterId::from(t.num_routers() - 1);
+        let base = pkt(&t, 0, far.idx());
+        let rank = RankingKind::Ofar {
+            local_misroute: true,
+        };
+        for r in 0..t.num_routers() {
+            let r = RouterId::from(r);
+            let open = rank.phi(&t, &base, r, false);
+            for flags in [
+                FLAG_LOCAL_MISROUTED,
+                FLAG_GLOBAL_MISROUTED,
+                FLAG_LOCAL_MISROUTED | FLAG_GLOBAL_MISROUTED,
+            ] {
+                let mut p = base;
+                p.flags = flags;
+                assert!(
+                    rank.phi(&t, &p, r, false) <= open,
+                    "flags {flags:#x} raised phi at {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distance_wraps_and_bounds() {
+        let t = topo();
+        let ring = HamiltonianRing::embedded(&t, 0);
+        let order = ring.order().to_vec();
+        assert_eq!(ring_dist(&ring, order[0], order[0]), 0);
+        assert_eq!(ring_dist(&ring, order[0], order[1]), 1);
+        assert_eq!(
+            ring_dist(&ring, order[1], order[0]),
+            (ring.len() - 1) as u64
+        );
+        let bound = RankingKind::Ofar {
+            local_misroute: true,
+        }
+        .ring_bound(ring.len(), 4, 8)
+        .expect("OFAR has a ring bound");
+        assert_eq!(bound, (ring.len() as u64 + 9) * 4 + ring.len() as u64 + 8);
+        assert_eq!(RankingKind::Minimal.ring_bound(36, 4, 3), None);
+    }
+}

@@ -1,9 +1,9 @@
 //! Typed verification outcomes: the certificate of a proven-safe
 //! configuration and the named violations of a rejected one.
 
-use ofar_engine::ConfigError;
-use ofar_routing::ClassId;
-use ofar_topology::RouterId;
+use ofar_engine::{ConfigError, RequestKind};
+use ofar_routing::{ClassEdge, ClassId};
+use ofar_topology::{GroupId, RouterId};
 use std::fmt;
 
 /// One concrete channel in a reported dependency cycle: the directed
@@ -119,7 +119,11 @@ impl fmt::Display for VerifyError {
                 "bubble violation: ring buffers hold {cap} phits but the \
                  bubble condition needs {required} (two packets)"
             ),
-            Self::MalformedRing { ring, detail, witness } => {
+            Self::MalformedRing {
+                ring,
+                detail,
+                witness,
+            } => {
                 write!(f, "escape ring {ring} is malformed: {detail}")?;
                 if !witness.is_empty() {
                     write!(f, " [")?;
@@ -137,7 +141,11 @@ impl fmt::Display for VerifyError {
                 write!(f, "{mechanism}: channel dependency cycle ")?;
                 fmt_cycle(cycle, f)
             }
-            Self::NoEscapeDrain { mechanism, class, cycle } => {
+            Self::NoEscapeDrain {
+                mechanism,
+                class,
+                cycle,
+            } => {
                 write!(
                     f,
                     "{mechanism}: class {class} is in a dependency cycle but \
@@ -194,6 +202,181 @@ impl fmt::Display for Certificate {
             )?;
         } else {
             write!(f, "; acyclic (no escape layer needed)")?;
+        }
+        Ok(())
+    }
+}
+
+/// One concrete routing decision the conformance explorer observed — the
+/// named counterexample attached to every conformance rejection, and
+/// enough context (router, destination, header flags, credit scenario) to
+/// replay it by hand against the mechanism's `route` implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionWitness {
+    /// Router where the decision was taken.
+    pub router: RouterId,
+    /// Destination router of the probed packet.
+    pub dst: RouterId,
+    /// Channel class the packet occupied.
+    pub from: ClassId,
+    /// Channel class the emitted request targets.
+    pub to: ClassId,
+    /// The request kind the mechanism emitted.
+    pub why: RequestKind,
+    /// Packet header flags at decision time.
+    pub flags: u8,
+    /// Pending Valiant intermediate group, if any.
+    pub intermediate: Option<GroupId>,
+    /// Whether the packet was modelled as head-blocked past the patience
+    /// threshold.
+    pub patient: bool,
+    /// The credit/occupancy lattice point applied to the router.
+    pub scenario: &'static str,
+}
+
+impl fmt::Display for TransitionWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} ({:?}) at {} toward {}, flags {:#04x}",
+            self.from, self.to, self.why, self.router, self.dst, self.flags
+        )?;
+        if let Some(g) = self.intermediate {
+            write!(f, ", intermediate {g}")?;
+        }
+        if self.patient {
+            write!(f, ", patient")?;
+        }
+        write!(f, ", scenario '{}'", self.scenario)
+    }
+}
+
+/// Why the conformance checker rejected a mechanism: its observed
+/// behavior escapes the declared dependency graph, or a decision fails
+/// the livelock ranking. Every variant names a concrete witness.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConformanceError {
+    /// The declared dependency graph itself failed certification — the
+    /// conformance run never started.
+    Verify(VerifyError),
+    /// The implementation emitted a class transition absent from the
+    /// mechanism's declaration, so the static deadlock proof does not
+    /// cover the real code.
+    UndeclaredTransition {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// The observed out-of-declaration decision.
+        witness: TransitionWitness,
+    },
+    /// A decision failed to strictly decrease the mechanism's
+    /// well-founded ranking, so the static hop bound (and with it
+    /// livelock freedom) is unproven.
+    RankingViolation {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// The non-decreasing decision.
+        witness: TransitionWitness,
+        /// Ranking value before the decision.
+        before: u64,
+        /// Ranking value after it (`>= before` or otherwise ill-founded).
+        after: u64,
+    },
+    /// The *observed* transition graph — tighter than the declaration —
+    /// failed re-certification. Cannot happen when the declaration
+    /// certifies and observation is contained in it, unless containment
+    /// itself is broken; kept as a defense-in-depth arm.
+    ObservedGraphRejected {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// The verifier's rejection of the observed graph.
+        error: VerifyError,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Verify(e) => write!(f, "declared graph rejected: {e}"),
+            Self::UndeclaredTransition { mechanism, witness } => write!(
+                f,
+                "{mechanism}: observed transition not in the declared \
+                 dependency graph: {witness}"
+            ),
+            Self::RankingViolation {
+                mechanism,
+                witness,
+                before,
+                after,
+            } => write!(
+                f,
+                "{mechanism}: decision does not decrease the livelock \
+                 ranking ({before} -> {after}): {witness}"
+            ),
+            Self::ObservedGraphRejected { mechanism, error } => write!(
+                f,
+                "{mechanism}: observed transition graph failed \
+                 re-certification: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+impl From<VerifyError> for ConformanceError {
+    fn from(e: VerifyError) -> Self {
+        Self::Verify(e)
+    }
+}
+
+/// What the conformance explorer proved for one mechanism: the observed
+/// transition set is contained in the declaration, every decision
+/// strictly decreases the livelock ranking, and the observed graph
+/// re-certifies. Carries the derived static hop bounds.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// Mechanism name.
+    pub mechanism: &'static str,
+    /// Distinct abstract (router, class, destination, header, patience)
+    /// states reached.
+    pub states: usize,
+    /// Routing decisions examined (route/on_inject outcomes across the
+    /// scenario lattice and pinned random choices).
+    pub decisions: usize,
+    /// Observed class transitions (the edges the code actually takes).
+    pub observed: Vec<ClassEdge>,
+    /// Declared canonical transitions never observed on any probed
+    /// decision — dead declarations (over-approximation slack, reported
+    /// for audit, not an error).
+    pub dead: Vec<ClassEdge>,
+    /// Proven worst-case canonical (non-ring) hops: the maximum ranking
+    /// value over all reachable states.
+    pub hop_bound: u64,
+    /// The paper's path-length ceiling the bound must meet.
+    pub paper_bound: u64,
+    /// Worst-case hops including escape-ring travel (`None` for
+    /// mechanisms without a ring).
+    pub ring_bound: Option<u64>,
+    /// Certificate of the re-verified *observed* graph.
+    pub observed_certificate: Certificate,
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: conforms — {} states, {} decisions, {} observed / {} dead \
+             declared transitions, hop bound {} (paper {})",
+            self.mechanism,
+            self.states,
+            self.decisions,
+            self.observed.len(),
+            self.dead.len(),
+            self.hop_bound,
+            self.paper_bound
+        )?;
+        if let Some(rb) = self.ring_bound {
+            write!(f, ", ring-inclusive bound {rb}")?;
         }
         Ok(())
     }

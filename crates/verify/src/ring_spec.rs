@@ -44,7 +44,10 @@ impl RingSpec {
         };
         if self.edges.len() != nr {
             return fail(
-                format!("{} ring edges for {nr} routers (must be Hamiltonian)", self.edges.len()),
+                format!(
+                    "{} ring edges for {nr} routers (must be Hamiltonian)",
+                    self.edges.len()
+                ),
                 Vec::new(),
             );
         }
@@ -52,7 +55,10 @@ impl RingSpec {
         let mut pred_seen = vec![false; nr];
         for &(from, to) in &self.edges {
             if from.idx() >= nr || to.idx() >= nr {
-                return fail(format!("edge {from}->{to} names a router outside the topology"), vec![from, to]);
+                return fail(
+                    format!("edge {from}->{to} names a router outside the topology"),
+                    vec![from, to],
+                );
             }
             if topo.link_between(from, to).is_none() {
                 return fail(
@@ -61,17 +67,11 @@ impl RingSpec {
                 );
             }
             if succ[from.idx()].is_some() {
-                return fail(
-                    format!("router {from} has two ring successors"),
-                    vec![from],
-                );
+                return fail(format!("router {from} has two ring successors"), vec![from]);
             }
             succ[from.idx()] = Some(to);
             if pred_seen[to.idx()] {
-                return fail(
-                    format!("router {to} has two ring predecessors"),
-                    vec![to],
-                );
+                return fail(format!("router {to} has two ring predecessors"), vec![to]);
             }
             pred_seen[to.idx()] = true;
         }

@@ -41,7 +41,10 @@ fn main() {
         .and_then(|(_, r)| r.cycles)
         .expect("PB must drain");
 
-    println!("\n{:8} {:>10} {:>10} {:>12}", "mech", "cycles", "vs PB", "avg latency");
+    println!(
+        "\n{:8} {:>10} {:>10} {:>12}",
+        "mech", "cycles", "vs PB", "avg latency"
+    );
     for (kind, r) in &results {
         let cycles = r.cycles.expect("burst must drain");
         println!(

@@ -76,7 +76,9 @@ fn main() {
         HamiltonianRing::surviving_rings(&topo, &rings[..1], &aimed),
         0
     );
-    println!("a single-ring deployment is killed by 1 aimed failure — the multi-ring family is not.");
+    println!(
+        "a single-ring deployment is killed by 1 aimed failure — the multi-ring family is not."
+    );
 
     // And the simulator runs on any ring of the family: route a burst of
     // traffic with OFAR using ring #1 instead of ring #0.
@@ -94,10 +96,7 @@ fn main() {
     )
     .expect("backup ring must be a spanning bubble-protected cycle");
     let fab = Fabric::with_ring(cfg, Some(alt_ring));
-    let mut net = Network::with_fabric(
-        fab,
-        ofar_core::routing::OfarPolicy::new(&cfg, 3),
-    );
+    let mut net = Network::with_fabric(fab, ofar_core::routing::OfarPolicy::new(&cfg, 3));
     let mut gen = TrafficGen::new(&topo2, TrafficSpec::adversarial(2), 5);
     for n in 0..net.num_nodes() {
         for _ in 0..5 {

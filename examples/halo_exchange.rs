@@ -86,5 +86,8 @@ fn main() {
         ofar_seq,
         ofar_rnd,
     );
-    assert!(ofar_seq < min_seq, "OFAR must beat MIN on the hot-spot mapping");
+    assert!(
+        ofar_seq < min_seq,
+        "OFAR must beat MIN on the hot-spot mapping"
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     let measure = 6_000u64;
 
     certify(&cfg, MechanismKind::Valiant).expect("configuration must be deadlock-free");
-    let mut net = Network::new(cfg, Mechanism::Valiant(ofar_core::routing::ValiantPolicy::new(&cfg, 7)));
+    let mut net = Network::new(
+        cfg,
+        Mechanism::Valiant(ofar_core::routing::ValiantPolicy::new(&cfg, 7)),
+    );
     let mut gen = TrafficGen::new(&topo, TrafficSpec::adversarial(h), 1);
     let mut bern = Bernoulli::new(load, cfg.packet_size, 2);
     let nodes = net.num_nodes();

@@ -31,7 +31,10 @@ fn main() {
     };
     let spec = TrafficSpec::adversarial(2);
 
-    println!("\n{:8} {:>12} {:>12} {:>16}", "mech", "latency", "accepted", "misroutes/pkt");
+    println!(
+        "\n{:8} {:>12} {:>12} {:>16}",
+        "mech", "latency", "accepted", "misroutes/pkt"
+    );
     for kind in [
         MechanismKind::Min,
         MechanismKind::Valiant,

@@ -14,6 +14,7 @@
 //!   --seed <n>                                                [42]
 //!   --ber <f>             per-phit link bit-error rate        [0]
 //!   --burst <pkts/node>   burst mode instead of steady state
+//!   --conformance         run the routing-conformance checker and exit
 //! ```
 //!
 //! A nonzero `--ber` enables the link-level retransmission layer
@@ -47,7 +48,16 @@ impl Args {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
-        println!("{}", include_str!("ofar-sim.rs").lines().skip(2).take(15).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+        println!(
+            "{}",
+            include_str!("ofar-sim.rs")
+                .lines()
+                .skip(2)
+                .take(16)
+                .map(|l| l.trim_start_matches("//! "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         return;
     }
     let args = Args(argv);
@@ -80,6 +90,25 @@ fn main() {
         None => {}
     }
     let cfg = kind.adapt_config(cfg);
+
+    if args.0.iter().any(|a| a == "--conformance") {
+        match conformance(&cfg, kind) {
+            Ok(rep) => {
+                println!("{rep}");
+                for d in &rep.dead {
+                    println!(
+                        "  dead declared transition: {} -> {} ({:?})",
+                        d.from, d.to, d.why
+                    );
+                }
+            }
+            Err(e) => {
+                println!("{}: NON-CONFORMANT — {e}", kind.name());
+                exit(1);
+            }
+        }
+        return;
+    }
 
     let pattern = args.get("--pattern").unwrap_or("UN");
     let spec = match pattern {

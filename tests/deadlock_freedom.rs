@@ -51,7 +51,11 @@ fn overload_liveness_adversarial() {
 
 #[test]
 fn overload_liveness_worst_case_advh() {
-    for kind in [MechanismKind::Ofar, MechanismKind::OfarL, MechanismKind::Valiant] {
+    for kind in [
+        MechanismKind::Ofar,
+        MechanismKind::OfarL,
+        MechanismKind::Valiant,
+    ] {
         assert_liveness(SimConfig::paper(2), kind, TrafficSpec::adversarial(2), 23);
     }
 }

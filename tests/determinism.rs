@@ -42,7 +42,11 @@ fn different_seeds_different_histories() {
     // Not a strict requirement packet-for-packet, but identical full
     // signatures across seeds would indicate the seed is ignored.
     let mut distinct = 0;
-    for kind in [MechanismKind::Valiant, MechanismKind::Ofar, MechanismKind::Pb] {
+    for kind in [
+        MechanismKind::Valiant,
+        MechanismKind::Ofar,
+        MechanismKind::Pb,
+    ] {
         if signature(kind, 1) != signature(kind, 2) {
             distinct += 1;
         }
@@ -60,8 +64,12 @@ fn faulted_runs_are_reproducible() {
     let topo = Dragonfly::new(cfg.params);
     let run = |kind: MechanismKind| {
         let r0 = RouterId::new(0);
-        let plan = FaultPlan::random_global_failures(&topo, 2, 120, 0xDE7)
-            .transient_link(300, 900, r0, topo.global_neighbor(r0, 0).0);
+        let plan = FaultPlan::random_global_failures(&topo, 2, 120, 0xDE7).transient_link(
+            300,
+            900,
+            r0,
+            topo.global_neighbor(r0, 0).0,
+        );
         ofar::burst_faulted(
             cfg,
             kind,
@@ -94,8 +102,22 @@ fn runner_points_are_reproducible() {
         warmup: 1_000,
         measure: 1_500,
     };
-    let a = steady_state(cfg, MechanismKind::Ofar, &TrafficSpec::adversarial(2), 0.3, opts, 7);
-    let b = steady_state(cfg, MechanismKind::Ofar, &TrafficSpec::adversarial(2), 0.3, opts, 7);
+    let a = steady_state(
+        cfg,
+        MechanismKind::Ofar,
+        &TrafficSpec::adversarial(2),
+        0.3,
+        opts,
+        7,
+    );
+    let b = steady_state(
+        cfg,
+        MechanismKind::Ofar,
+        &TrafficSpec::adversarial(2),
+        0.3,
+        opts,
+        7,
+    );
     assert_eq!(a.delivered, b.delivered);
     assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
     assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());

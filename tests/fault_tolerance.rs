@@ -62,11 +62,15 @@ fn isolated_group_is_reported_as_partition() {
         23,
         plan,
         // small window: the verdict is the point, not the wait
-        RunConfig { watchdog: Some(1_500) },
+        RunConfig {
+            watchdog: Some(1_500),
+        },
     );
     assert_eq!(r.cycles, None, "a partitioned burst cannot drain");
     match r.stall {
-        Some(StallKind::Partition { ref unreachable_pairs }) => {
+        Some(StallKind::Partition {
+            ref unreachable_pairs,
+        }) => {
             assert!(
                 !unreachable_pairs.is_empty(),
                 "partition verdict must name undeliverable pairs"
@@ -151,7 +155,9 @@ fn network_wide_noise_is_diagnosed_as_retransmission_storm() {
         37,
         FaultPlan::default(),
         // small window: the verdict is the point, not the wait
-        RunConfig { watchdog: Some(2_000) },
+        RunConfig {
+            watchdog: Some(2_000),
+        },
     );
     assert_eq!(r.cycles, None, "a 90% BER burst cannot drain");
     assert!(
@@ -159,7 +165,10 @@ fn network_wide_noise_is_diagnosed_as_retransmission_storm() {
         "goodput should have collapsed"
     );
     match r.stall {
-        Some(StallKind::RetransmissionStorm { ref links, retransmits }) => {
+        Some(StallKind::RetransmissionStorm {
+            ref links,
+            retransmits,
+        }) => {
             assert!(!links.is_empty(), "storm verdict must name links");
             assert!(retransmits >= 64, "storm verdict needs real retries");
             assert!(

@@ -15,7 +15,11 @@ fn drain(kind: MechanismKind, mapping: TaskMapping, rounds: usize) -> u64 {
     }
     while !net.drained() {
         net.step();
-        assert!(net.now() < 500_000, "{} stalled on halo exchange", kind.name());
+        assert!(
+            net.now() < 500_000,
+            "{} stalled on halo exchange",
+            kind.name()
+        );
     }
     net.now()
 }

@@ -54,7 +54,14 @@ fn conservation_holds_for_every_mechanism_under_uniform_load() {
 #[test]
 fn conservation_holds_under_adversarial_saturation() {
     for kind in MechanismKind::paper_set() {
-        let net = drive(kind, TrafficSpec::adversarial(2), RingMode::None, 0.8, 2_500, 2);
+        let net = drive(
+            kind,
+            TrafficSpec::adversarial(2),
+            RingMode::None,
+            0.8,
+            2_500,
+            2,
+        );
         assert_conservation(&net);
     }
 }
@@ -101,9 +108,23 @@ fn conservation_holds_with_reduced_vcs() {
 
 #[test]
 fn conservation_holds_for_mixes_and_par() {
-    let net = drive(MechanismKind::Par, TrafficSpec::mix3(2), RingMode::None, 0.5, 2_000, 4);
+    let net = drive(
+        MechanismKind::Par,
+        TrafficSpec::mix3(2),
+        RingMode::None,
+        0.5,
+        2_000,
+        4,
+    );
     assert_conservation(&net);
-    let net = drive(MechanismKind::Ofar, TrafficSpec::mix1(2), RingMode::None, 0.5, 2_000, 5);
+    let net = drive(
+        MechanismKind::Ofar,
+        TrafficSpec::mix1(2),
+        RingMode::None,
+        0.5,
+        2_000,
+        5,
+    );
     assert_conservation(&net);
 }
 

@@ -43,7 +43,13 @@ fn min_stays_within_three_hops() {
 
 #[test]
 fn valiant_stays_within_five_hops_and_two_globals() {
-    let net = run(MechanismKind::Valiant, TrafficSpec::adversarial(3), 0.3, 3_000, 2);
+    let net = run(
+        MechanismKind::Valiant,
+        TrafficSpec::adversarial(3),
+        0.3,
+        3_000,
+        2,
+    );
     let s = net.stats();
     assert!(s.delivered_packets > 1_000);
     assert!(s.avg_hops() <= 5.0 + 1e-9, "VAL avg hops {}", s.avg_hops());
@@ -56,7 +62,13 @@ fn valiant_stays_within_five_hops_and_two_globals() {
 fn ofar_canonical_hops_bounded_by_eight() {
     // The engine debug-asserts local ≤ 6 and global ≤ 2 per packet at
     // ejection; here we double-check the aggregate under pressure.
-    let net = run(MechanismKind::Ofar, TrafficSpec::adversarial(2), 0.7, 4_000, 3);
+    let net = run(
+        MechanismKind::Ofar,
+        TrafficSpec::adversarial(2),
+        0.7,
+        4_000,
+        3,
+    );
     let s = net.stats();
     assert!(s.delivered_packets > 1_000);
     assert!(s.avg_hops() <= 8.0, "OFAR avg hops {}", s.avg_hops());
@@ -80,7 +92,11 @@ fn ofar_l_takes_no_local_misroutes_ever() {
 
 #[test]
 fn vc_ordered_mechanisms_never_touch_the_ring() {
-    for kind in [MechanismKind::Min, MechanismKind::Valiant, MechanismKind::Pb] {
+    for kind in [
+        MechanismKind::Min,
+        MechanismKind::Valiant,
+        MechanismKind::Pb,
+    ] {
         let net = run(kind, TrafficSpec::adversarial(2), 0.7, 2_000, 7);
         let s = net.stats();
         assert_eq!(s.ring_entries, 0, "{kind} used a ring it does not have");

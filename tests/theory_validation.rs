@@ -52,13 +52,24 @@ fn valiant_under_uniform_respects_the_half_bound() {
         "VAL UN throughput {} above the ½ global bound",
         p.throughput
     );
-    assert!(p.throughput > 0.25, "VAL UN throughput {} too low", p.throughput);
+    assert!(
+        p.throughput > 0.25,
+        "VAL UN throughput {} too low",
+        p.throughput
+    );
 }
 
 #[test]
 fn min_under_uniform_beats_valiant() {
     let cfg = SimConfig::paper(2);
-    let m = steady_state(cfg, MechanismKind::Min, &TrafficSpec::uniform(), 0.85, quick(), 3);
+    let m = steady_state(
+        cfg,
+        MechanismKind::Min,
+        &TrafficSpec::uniform(),
+        0.85,
+        quick(),
+        3,
+    );
     let v = steady_state(
         cfg,
         MechanismKind::Valiant,

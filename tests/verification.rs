@@ -1,6 +1,9 @@
 //! The verification stack end to end: the static CDG verifier certifies
 //! everything the experiments ship, the `core::run` gate refuses what it
-//! rejects, and (under `--features audit`) a full burst runs audit-clean.
+//! rejects, the routing-conformance model checker proves the real
+//! routing code stays inside its declaration with the paper's hop
+//! bounds — and rejects seeded mutant policies with named witnesses —
+//! and (under `--features audit`) a full burst runs audit-clean.
 
 use ofar::prelude::*;
 
@@ -23,8 +26,7 @@ fn shipped_configuration_space_certifies() {
                 }
             }
             for cfg in variants {
-                certify(&cfg, kind)
-                    .unwrap_or_else(|e| panic!("{} at h={h}: {e}", kind.name()));
+                certify(&cfg, kind).unwrap_or_else(|e| panic!("{} at h={h}: {e}", kind.name()));
             }
         }
     }
@@ -41,7 +43,13 @@ fn reduced_vcs_split_the_mechanism_set() {
     no_ring.ring = RingMode::None;
     let err = certify(&no_ring, MechanismKind::Valiant).unwrap_err();
     assert!(
-        matches!(err, VerifyError::DependencyCycle { mechanism: "VAL", .. }),
+        matches!(
+            err,
+            VerifyError::DependencyCycle {
+                mechanism: "VAL",
+                ..
+            }
+        ),
         "expected a named VAL cycle, got {err}"
     );
 }
@@ -59,7 +67,7 @@ fn runners_refuse_unverified_configurations() {
 /// The certificate's numbers are internally consistent with the
 /// topology they describe.
 #[test]
-fn certificate_counts_match_topology()  {
+fn certificate_counts_match_topology() {
     let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(2));
     let cert = certify(&cfg, MechanismKind::Ofar).expect("certifies");
     let topo = Dragonfly::new(cfg.params);
@@ -70,12 +78,12 @@ fn certificate_counts_match_topology()  {
         cert.channels,
         nr * (a - 1) * cfg.vcs_local + nr * h * cfg.vcs_global
     );
-    assert!(cert.dependencies > cert.channels, "OFAR is densely adaptive");
-    assert_eq!(cert.rings, 1);
-    assert_eq!(
-        cert.bubble_slack,
-        Some(cfg.buf_ring - 2 * cfg.packet_size)
+    assert!(
+        cert.dependencies > cert.channels,
+        "OFAR is densely adaptive"
     );
+    assert_eq!(cert.rings, 1);
+    assert_eq!(cert.bubble_slack, Some(cfg.buf_ring - 2 * cfg.packet_size));
 }
 
 /// Under `--features audit`, a full burst on every mechanism completes
@@ -93,7 +101,9 @@ fn audited_bursts_are_clean_for_every_mechanism() {
             11,
         );
         assert!(r.cycles.is_some(), "{} burst must drain", kind.name());
-        let audit = r.audit.unwrap_or_else(|| panic!("{}: audit missing", kind.name()));
+        let audit = r
+            .audit
+            .unwrap_or_else(|| panic!("{}: audit missing", kind.name()));
         assert!(audit.is_clean(), "{}: {audit}", kind.name());
         assert!(audit.checks > 0);
     }
@@ -113,4 +123,283 @@ fn unaudited_bursts_report_no_audit() {
     );
     assert!(r.cycles.is_some());
     assert!(r.audit.is_none());
+}
+
+// ---------------------------------------------------------------------
+// Routing conformance: the model checker against the real mechanisms
+// ---------------------------------------------------------------------
+
+/// Paper path-length table (§III/§IV): the conformance checker must
+/// *compute* these bounds from the exploration, not assume them.
+const PAPER_BOUNDS: [(MechanismKind, u64); 6] = [
+    (MechanismKind::Min, 3),
+    (MechanismKind::Valiant, 5),
+    (MechanismKind::Pb, 5),
+    (MechanismKind::Par, 6),
+    (MechanismKind::Ofar, 8),
+    (MechanismKind::OfarL, 5),
+];
+
+/// Every mechanism (paper set plus the PAR extension, whose divert paths
+/// exercise the AUX-flag ranking) conforms at h = 2 with exactly the
+/// paper's hop bound, and its observed dependency graph re-certifies.
+#[test]
+fn mechanisms_conform_with_paper_hop_bounds_at_h2() {
+    for (kind, bound) in PAPER_BOUNDS {
+        let cfg = kind.adapt_config(SimConfig::paper(2));
+        let rep =
+            conformance(&cfg, kind).unwrap_or_else(|e| panic!("{} must conform: {e}", kind.name()));
+        assert_eq!(
+            rep.hop_bound,
+            bound,
+            "{}: computed hop bound {} ≠ paper {bound}",
+            kind.name(),
+            rep.hop_bound
+        );
+        assert_eq!(rep.paper_bound, bound, "{}", kind.name());
+        assert!(
+            rep.states > 0 && rep.decisions > rep.states,
+            "{}",
+            kind.name()
+        );
+        assert!(
+            !rep.observed.is_empty() && rep.observed.len() <= rep.observed.len() + rep.dead.len(),
+            "{}",
+            kind.name()
+        );
+        if kind.needs_ring() {
+            let rb = rep
+                .ring_bound
+                .expect("escape mechanisms get a ring-inclusive bound");
+            assert!(rb > rep.hop_bound);
+        } else {
+            assert!(rep.ring_bound.is_none());
+            assert!(
+                rep.dead.is_empty(),
+                "{}: ladder declarations are exact",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Same at h = 4 (the paper's 16k-node scale). Slower, so release CI
+/// exercises it through the `verify` bench bin as well.
+#[test]
+fn mechanisms_conform_with_paper_hop_bounds_at_h4() {
+    for (kind, bound) in PAPER_BOUNDS {
+        let cfg = kind.adapt_config(SimConfig::paper(4));
+        let rep = conformance(&cfg, kind)
+            .unwrap_or_else(|e| panic!("{} must conform at h=4: {e}", kind.name()));
+        assert_eq!(rep.hop_bound, bound, "{} at h=4", kind.name());
+    }
+}
+
+/// The runner gate in conformance mode: `OFAR_CONFORMANCE=1` upgrades
+/// the pre-run proof to the full model check (cached per configuration).
+#[test]
+fn conformance_results_are_cached() {
+    let cfg = MechanismKind::Min.adapt_config(SimConfig::paper(2));
+    let a = conformance_cached(&cfg, MechanismKind::Min).expect("conforms");
+    let mut reseeded = cfg;
+    reseeded.seed = 1234;
+    let b = conformance_cached(&reseeded, MechanismKind::Min).expect("cached");
+    assert_eq!(a.hop_bound, b.hop_bound);
+    assert_eq!(a.observed.len(), b.observed.len());
+}
+
+// ---------------------------------------------------------------------
+// Mutant mechanisms: the checker must reject each with a named witness
+// ---------------------------------------------------------------------
+
+mod mutants {
+    use super::*;
+    use ofar::engine::{InputCtx, NetSnapshot, Request, RequestKind, RouterView};
+    use ofar::routing::{ClassId, EnumerablePolicy, ProbeFeedback, ProbePin};
+    use ofar::verify::{conformance_with, ConformanceError, RankingKind};
+
+    /// Delegate everything to the wrapped real mechanism except `route`,
+    /// which each mutant perturbs.
+    macro_rules! delegate_policy {
+        ($ty:ident, $name:expr) => {
+            impl Policy for $ty {
+                fn name(&self) -> &'static str {
+                    $name
+                }
+                fn route(
+                    &mut self,
+                    view: &RouterView<'_>,
+                    input: InputCtx,
+                    pkt: &mut ofar::engine::Packet,
+                ) -> Option<Request> {
+                    self.mutate(view, input, pkt)
+                }
+                fn on_inject(
+                    &mut self,
+                    view: &RouterView<'_>,
+                    pkt: &mut ofar::engine::Packet,
+                ) -> usize {
+                    self.inner.on_inject(view, pkt)
+                }
+                fn end_cycle(&mut self, net: &NetSnapshot<'_>) {
+                    self.inner.end_cycle(net)
+                }
+                fn needs_ring(&self) -> bool {
+                    self.inner.needs_ring()
+                }
+            }
+            impl EnumerablePolicy for $ty {
+                fn set_probe(&mut self, pin: Option<ProbePin>) {
+                    self.inner.set_probe(pin)
+                }
+                fn probe_feedback(&self) -> ProbeFeedback {
+                    self.inner.probe_feedback()
+                }
+            }
+        };
+    }
+
+    /// Mutant 1 — a livelock: OFAR that never leaves its escape ring.
+    /// Ring exits (and ring ejections) are replaced by ring advances, so
+    /// an on-ring packet rides past its destination forever. The ranking
+    /// (ring distance to destination) must catch the wrap-around.
+    struct OfarRingRider {
+        inner: Mechanism,
+    }
+    impl OfarRingRider {
+        fn mutate(
+            &mut self,
+            view: &RouterView<'_>,
+            input: InputCtx,
+            pkt: &mut ofar::engine::Packet,
+        ) -> Option<Request> {
+            let req = self.inner.route(view, input, pkt)?;
+            if input.is_escape_vc && matches!(req.kind, RequestKind::RingExit | RequestKind::Eject)
+            {
+                let ring = view.fab.ring_of_input(view.router, input.port, input.vc)?;
+                let (port, vc) = view.escape_vc_of_ring(ring)?;
+                return Some(Request::new(port, vc, RequestKind::RingAdvance));
+            }
+            Some(req)
+        }
+    }
+    delegate_policy!(OfarRingRider, "OFAR-ring-rider");
+
+    #[test]
+    fn ring_riding_ofar_is_rejected_by_the_ranking() {
+        let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(2));
+        let inner = MechanismKind::Ofar.build(&cfg, 0);
+        let decl = MechanismKind::Ofar.dependency_decl(&cfg);
+        let err = conformance_with(
+            &cfg,
+            OfarRingRider { inner },
+            decl,
+            RankingKind::for_mechanism(MechanismKind::Ofar),
+        )
+        .expect_err("a packet that rides past its destination must be rejected");
+        match err {
+            ConformanceError::RankingViolation {
+                witness,
+                before,
+                after,
+                ..
+            } => {
+                assert_eq!(witness.from, ClassId::Escape, "violation is on the ring");
+                assert_eq!(witness.to, ClassId::Escape);
+                assert!(after >= before, "{before} -> {after}");
+            }
+            other => panic!("expected RankingViolation, got {other}"),
+        }
+    }
+
+    /// Mutant 2 — a deadlock seed: Valiant that forgets to climb the VC
+    /// ladder on local hops (every local request reuses VC 0). The first
+    /// post-global local hop lands outside the declared ladder.
+    struct ValFlatLadder {
+        inner: Mechanism,
+    }
+    impl ValFlatLadder {
+        fn mutate(
+            &mut self,
+            view: &RouterView<'_>,
+            input: InputCtx,
+            pkt: &mut ofar::engine::Packet,
+        ) -> Option<Request> {
+            let mut req = self.inner.route(view, input, pkt)?;
+            if view.fab.out_kind(req.out_port as usize) == ofar::engine::PortKind::Local {
+                req.out_vc = 0;
+            }
+            Some(req)
+        }
+    }
+    delegate_policy!(ValFlatLadder, "VAL-flat-ladder");
+
+    #[test]
+    fn flat_ladder_valiant_is_rejected_as_undeclared() {
+        let cfg = MechanismKind::Valiant.adapt_config(SimConfig::paper(2));
+        let inner = MechanismKind::Valiant.build(&cfg, 0);
+        let decl = MechanismKind::Valiant.dependency_decl(&cfg);
+        let err = conformance_with(
+            &cfg,
+            ValFlatLadder { inner },
+            decl,
+            RankingKind::for_mechanism(MechanismKind::Valiant),
+        )
+        .expect_err("reusing local VC 0 after a global hop must be rejected");
+        match err {
+            ConformanceError::UndeclaredTransition { witness, .. } => {
+                assert_eq!(witness.to, ClassId::Local { vc: 0 });
+                assert!(
+                    matches!(witness.from, ClassId::Global { .. } | ClassId::Local { .. }),
+                    "flat ladder shows up on a post-source hop, got {}",
+                    witness.from
+                );
+            }
+            other => panic!("expected UndeclaredTransition, got {other}"),
+        }
+    }
+
+    /// Mutant 3 — minimal routing that ejects destination-group traffic
+    /// into local VC 0 instead of the top ladder VC: the declared
+    /// `global → local(top)` dependency is replaced by an undeclared
+    /// `global → local:v0` edge (a cycle seed under contention).
+    struct MinFlatVc {
+        inner: Mechanism,
+    }
+    impl MinFlatVc {
+        fn mutate(
+            &mut self,
+            view: &RouterView<'_>,
+            input: InputCtx,
+            pkt: &mut ofar::engine::Packet,
+        ) -> Option<Request> {
+            let mut req = self.inner.route(view, input, pkt)?;
+            if view.fab.out_kind(req.out_port as usize) == ofar::engine::PortKind::Local {
+                req.out_vc = 0;
+            }
+            Some(req)
+        }
+    }
+    delegate_policy!(MinFlatVc, "MIN-flat-vc");
+
+    #[test]
+    fn flat_vc_minimal_is_rejected_as_undeclared() {
+        let cfg = MechanismKind::Min.adapt_config(SimConfig::paper(2));
+        let inner = MechanismKind::Min.build(&cfg, 0);
+        let decl = MechanismKind::Min.dependency_decl(&cfg);
+        let err = conformance_with(
+            &cfg,
+            MinFlatVc { inner },
+            decl,
+            RankingKind::for_mechanism(MechanismKind::Min),
+        )
+        .expect_err("a flat-VC minimal router must be rejected");
+        match err {
+            ConformanceError::UndeclaredTransition { witness, .. } => {
+                assert_eq!(witness.to, ClassId::Local { vc: 0 });
+                assert!(matches!(witness.from, ClassId::Global { .. }));
+            }
+            other => panic!("expected UndeclaredTransition, got {other}"),
+        }
+    }
 }

@@ -84,7 +84,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_bench(id: &str, mut f: impl FnMut(&mut Bencher)) {
-    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
     f(&mut b);
     if b.iters > 0 {
         let mean = b.elapsed / b.iters;

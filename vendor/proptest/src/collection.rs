@@ -12,21 +12,30 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        Self { lo: n, hi_inclusive: n }
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        Self { lo: r.start, hi_inclusive: r.end - 1 }
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        Self { lo: *r.start(), hi_inclusive: *r.end() }
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
@@ -48,5 +57,8 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// `prop::collection::vec(element, size)`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }

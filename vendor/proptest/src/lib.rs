@@ -55,7 +55,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        Self { state: h ^ 0x5DEECE66D } // constant keeps all-zero names off zero
+        Self {
+            state: h ^ 0x5DEECE66D,
+        } // constant keeps all-zero names off zero
     }
 
     /// Next 64 random bits.

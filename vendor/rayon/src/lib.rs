@@ -53,7 +53,10 @@ impl<'data, T: Sync> ParIter<'data, T> {
         F: Fn(&'data T) -> R + Sync,
         R: Send,
     {
-        ParMap { slice: self.slice, f }
+        ParMap {
+            slice: self.slice,
+            f,
+        }
     }
 }
 
@@ -69,7 +72,10 @@ impl<'data, T: Sync> ParEnumerate<'data, T> {
         F: Fn((usize, &'data T)) -> R + Sync,
         R: Send,
     {
-        ParEnumMap { slice: self.slice, f }
+        ParEnumMap {
+            slice: self.slice,
+            f,
+        }
     }
 }
 
@@ -153,7 +159,9 @@ where
             }
         }
     });
-    out.into_iter().map(|o| o.expect("uncomputed slot")).collect()
+    out.into_iter()
+        .map(|o| o.expect("uncomputed slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -170,7 +178,11 @@ mod tests {
     #[test]
     fn enumerate_map_matches_sequential() {
         let xs = vec!["a", "bb", "ccc"];
-        let got: Vec<usize> = xs.par_iter().enumerate().map(|(i, s)| i + s.len()).collect();
+        let got: Vec<usize> = xs
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| i + s.len())
+            .collect();
         assert_eq!(got, vec![1, 3, 5]);
     }
 
