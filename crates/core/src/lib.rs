@@ -42,9 +42,9 @@ pub use faults::{
     ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
 };
 pub use run::{
-    burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep, saturation_throughput,
-    steady_state, steady_state_tuned, transient, BurstResult, RunConfig, StallKind, SteadyOpts,
-    SteadyPoint, TransientBucket, TransientOpts,
+    burst, burst_comparison, burst_faulted, burst_net, derive_watchdog, load_sweep,
+    saturation_throughput, steady_state, steady_state_tuned, transient, BurstResult, RunConfig,
+    StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
 };
 pub use table::Table;
 
@@ -62,9 +62,9 @@ pub mod prelude {
         ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
     };
     pub use crate::run::{
-        burst, burst_comparison, burst_faulted, derive_watchdog, load_sweep, saturation_throughput,
-        steady_state, steady_state_tuned, transient, BurstResult, RunConfig, StallKind, SteadyOpts,
-        SteadyPoint, TransientBucket, TransientOpts,
+        burst, burst_comparison, burst_faulted, burst_net, derive_watchdog, load_sweep,
+        saturation_throughput, steady_state, steady_state_tuned, transient, BurstResult, RunConfig,
+        StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
     };
     pub use crate::table::Table;
     pub use crate::theory;

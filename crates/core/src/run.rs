@@ -455,8 +455,27 @@ pub fn burst_faulted(
     let mut net = Network::new(cfg, kind.build(&cfg, seed));
     #[cfg(feature = "audit")]
     net.enable_audit();
-    net.enable_delivery_log();
     net.set_fault_plan(plan);
+    burst_net(&mut net, spec, packets_per_node, seed, run)
+}
+
+/// The policy-generic burst runner: drive a caller-built [`Network`]
+/// through a burst and diagnose stalls, without the certification gate
+/// or the mechanism registry. This is the entry point for the mutation
+/// harness, which must run *deliberately defective* policies (and
+/// engine-level fault seams) that [`burst`] refuses by construction —
+/// the caller keeps the network afterwards, e.g. to pull an audit
+/// report. Watchdog semantics, stall diagnosis and the result shape are
+/// identical to [`burst_faulted`], which delegates here.
+pub fn burst_net<P: Policy>(
+    net: &mut Network<P>,
+    spec: &TrafficSpec,
+    packets_per_node: usize,
+    seed: u64,
+    run: RunConfig,
+) -> BurstResult {
+    net.enable_delivery_log();
+    let cfg = *net.fabric().cfg();
     let topo = *net.fabric().topo();
     let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
     let nodes = net.num_nodes();
@@ -486,7 +505,7 @@ pub fn burst_faulted(
         let no_delivery = net.now() - last_delivery_at > 4 * watchdog;
         if no_grant || no_delivery {
             let retx_since = net.stats().llr_retransmits - retx_at_last_delivery;
-            let stall = diagnose_stall(&net, watchdog, no_grant, retx_since);
+            let stall = diagnose_stall(net, watchdog, no_grant, retx_since);
             return BurstResult {
                 cycles: None,
                 delivered,
@@ -495,7 +514,7 @@ pub fn burst_faulted(
                 ring_entries: net.stats().ring_entries,
                 stall: Some(stall),
                 stats: net.stats().clone(),
-                audit: final_audit(&mut net),
+                audit: final_audit(net),
             };
         }
     }
@@ -507,7 +526,7 @@ pub fn burst_faulted(
         ring_entries: net.stats().ring_entries,
         stall: None,
         stats: net.stats().clone(),
-        audit: final_audit(&mut net),
+        audit: final_audit(net),
     }
 }
 

@@ -155,6 +155,27 @@ pub enum AuditViolation {
         /// Minimum free phits the bubble condition requires.
         required: u64,
     },
+    /// A ring-entry grant fired without the §IV-C bubble: the entry's
+    /// downstream VC held fewer than two packets of credit at grant
+    /// time. Eligibility is supposed to demand the two-packet bubble for
+    /// every `RingEnter`, so this firing means the admission check was
+    /// eroded — the whole-ring [`Self::BubbleLost`] check only notices
+    /// once the ring has actually wedged, while this one catches the
+    /// first bad admission.
+    RingEnterNoBubble {
+        /// Cycle of the grant.
+        cycle: u64,
+        /// Granting router.
+        router: u32,
+        /// Output port index.
+        port: u16,
+        /// Virtual channel.
+        vc: u8,
+        /// Downstream credits at grant time, in phits.
+        credits: u32,
+        /// Credits the bubble condition requires (two packets).
+        required: u32,
+    },
     /// A packet was ejected to its node more than once. The link-level
     /// retransmission layer must deduplicate spurious retransmissions at
     /// the receiver, so a second ejection of the same id means the
@@ -279,6 +300,18 @@ impl fmt::Display for AuditViolation {
                 f,
                 "cycle {cycle}: ring {ring} bubble lost: {free_phits} free phits \
                  < {required} required"
+            ),
+            Self::RingEnterNoBubble {
+                cycle,
+                router,
+                port,
+                vc,
+                credits,
+                required,
+            } => write!(
+                f,
+                "cycle {cycle}: ring entry granted at R{router} out {port} vc {vc} \
+                 with {credits} credits < {required} required (bubble eroded)"
             ),
             Self::DuplicateDelivery {
                 cycle,

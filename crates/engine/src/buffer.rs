@@ -79,6 +79,17 @@ impl VcFifo {
         self.q.push_back(pkt);
     }
 
+    /// [`Self::push`] without the flow-control assertion, for runs with
+    /// an engine mutation seam armed: a seeded credit defect makes
+    /// overflow an *expected* consequence that the runtime auditor — not
+    /// a panic — must detect and report.
+    #[cfg(feature = "mutate")]
+    #[inline]
+    pub(crate) fn push_overflowing(&mut self, pkt: Packet, phits: u32) {
+        self.occupancy += phits;
+        self.q.push_back(pkt);
+    }
+
     /// The packet at the head, if any.
     #[inline]
     pub fn head(&self) -> Option<&Packet> {

@@ -32,6 +32,8 @@ pub mod config;
 pub mod fabric;
 pub mod fault;
 pub mod llr;
+#[cfg(feature = "mutate")]
+pub mod mutation;
 pub mod network;
 pub mod packet;
 pub mod policy;
@@ -44,6 +46,8 @@ pub use config::{ConfigError, RingMode, SimConfig};
 pub use fabric::{EscapeOut, Fabric, InDesc, OutLink, PortKind};
 pub use fault::{random_global_links, FaultEvent, FaultKind, FaultPlan, FaultState};
 pub use llr::{crc32, Fate, Llr, RxVerdict};
+#[cfg(feature = "mutate")]
+pub use mutation::EngineMutation;
 pub use network::Network;
 pub use packet::{
     Packet, Request, RequestKind, FLAG_AUX, FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,

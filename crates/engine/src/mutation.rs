@@ -1,0 +1,119 @@
+//! Flow-control fault seams for mutation testing (`feature = "mutate"`).
+//!
+//! The mutation harness (`crates/mutate`) must be able to seed the exact
+//! class of defect the runtime auditor ([`crate::audit`]) claims to
+//! catch: credit-accounting skew and bubble flow-control erosion. Those
+//! defects live *inside* the engine's credit loop, so they cannot be
+//! expressed as a wrapper around a [`crate::Policy`] — instead the
+//! engine exposes, behind the `mutate` cargo feature, a small set of
+//! runtime-selectable faults injected at the two seams that matter:
+//!
+//! * the **credit-landing loop** in `deliver_events`, where returned
+//!   credits are added back to an output VC counter, and
+//! * the **bubble condition** in grant eligibility, where ring entry
+//!   requires space for two packets downstream (§IV-C).
+//!
+//! The seams are compiled out entirely without the feature; with it but
+//! with no mutation installed, each costs one `Option` check per credit
+//! event. Production builds never enable `mutate`.
+
+/// A seeded engine-level defect, installed via
+/// [`crate::Network::set_engine_mutation`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineMutation {
+    /// Drop every `period`-th returned credit: the downstream buffer
+    /// space exists but the upstream counter never learns. Conservation
+    /// (`credits + occupancy + reserved + inflight`) drifts below the VC
+    /// capacity — the auditor's deep `CreditLeak` check must fire.
+    CreditLeak {
+        /// Mutate every `period`-th credit event (1 = every event).
+        period: u32,
+    },
+    /// Return every `period`-th credit twice: the classic double-free.
+    /// The counter climbs past the downstream capacity, tripping the
+    /// fast `CreditOverflow` check (or `CreditLeak` when in-flight
+    /// packets mask the overflow at landing time).
+    CreditDouble {
+        /// Mutate every `period`-th credit event (1 = every event).
+        period: u32,
+    },
+    /// Land every `period`-th credit on the *next* VC of the same port
+    /// instead of the one it was issued for — an escape-VC
+    /// misassignment. Both VCs' conservation sums drift (one leaks, one
+    /// inflates), so the deep check reports two `CreditLeak`s.
+    EscapeVcSkew {
+        /// Mutate every `period`-th credit event (1 = every event).
+        period: u32,
+    },
+    /// Weaken the §IV-C bubble condition: ring entry is granted with
+    /// space for one packet downstream instead of two. The ring can then
+    /// fill completely and deadlock — caught by the deep `BubbleLost`
+    /// check (the ring no longer holds a free packet-sized bubble) or,
+    /// dynamically, by the run watchdog.
+    RingBubbleSkip,
+}
+
+impl EngineMutation {
+    /// Apply this mutation to one landing credit event `(vc, phits)`,
+    /// the `tick`-th credit event since the mutation was installed, on a
+    /// port with `vcs` virtual channels. Returns the (possibly skewed)
+    /// `(vc, phits)` to actually land; `phits == 0` means the credit is
+    /// dropped.
+    pub(crate) fn skew_credit(self, vc: u8, phits: u32, tick: u64, vcs: usize) -> (u8, u32) {
+        let hit = |period: u32| period > 0 && tick.is_multiple_of(u64::from(period.max(1)));
+        match self {
+            EngineMutation::CreditLeak { period } if hit(period) => (vc, 0),
+            EngineMutation::CreditDouble { period } if hit(period) => (vc, phits * 2),
+            EngineMutation::EscapeVcSkew { period } if hit(period) && vcs > 1 => {
+                (((vc as usize + 1) % vcs) as u8, phits)
+            }
+            _ => (vc, phits),
+        }
+    }
+
+    /// The downstream space (in phits) required to grant a ring-entry
+    /// request under this mutation, given the unmutated requirement of
+    /// `2 * size` (the §IV-C bubble).
+    pub(crate) fn ring_need(self, size: u32) -> u32 {
+        match self {
+            EngineMutation::RingBubbleSkip => size,
+            _ => 2 * size,
+        }
+    }
+
+    /// Short stable name used in kill-matrix reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMutation::CreditLeak { .. } => "engine-credit-leak",
+            EngineMutation::CreditDouble { .. } => "engine-credit-double",
+            EngineMutation::EscapeVcSkew { .. } => "engine-escape-vc-skew",
+            EngineMutation::RingBubbleSkip => "engine-ring-bubble-skip",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_credit_hits_only_on_period() {
+        let m = EngineMutation::CreditLeak { period: 3 };
+        assert_eq!(m.skew_credit(1, 4, 1, 2), (1, 4));
+        assert_eq!(m.skew_credit(1, 4, 2, 2), (1, 4));
+        assert_eq!(m.skew_credit(1, 4, 3, 2), (1, 0));
+        let d = EngineMutation::CreditDouble { period: 1 };
+        assert_eq!(d.skew_credit(0, 4, 7, 1), (0, 8));
+        let s = EngineMutation::EscapeVcSkew { period: 1 };
+        assert_eq!(s.skew_credit(1, 4, 7, 3), (2, 4));
+        assert_eq!(s.skew_credit(2, 4, 7, 3), (0, 4));
+        // single-VC ports cannot skew
+        assert_eq!(s.skew_credit(0, 4, 7, 1), (0, 4));
+    }
+
+    #[test]
+    fn ring_need_halves_only_for_bubble_skip() {
+        assert_eq!(EngineMutation::RingBubbleSkip.ring_need(8), 8);
+        assert_eq!(EngineMutation::CreditLeak { period: 1 }.ring_need(8), 16);
+    }
+}

@@ -78,6 +78,14 @@ pub struct Network<P: Policy> {
     /// Runtime invariant auditor; `None` until [`Self::enable_audit`].
     #[cfg(feature = "audit")]
     auditor: Option<crate::audit::Auditor>,
+    /// Seeded flow-control defect (mutation testing only); `None` until
+    /// [`Self::set_engine_mutation`].
+    #[cfg(feature = "mutate")]
+    mutation: Option<crate::mutation::EngineMutation>,
+    /// Credit events seen since the mutation was installed (periodic
+    /// mutations key off this).
+    #[cfg(feature = "mutate")]
+    mutation_ticks: u64,
     // reusable scratch
     effects: Vec<Effect>,
     reqs: Vec<(u16, u8, Request)>,
@@ -128,6 +136,10 @@ impl<P: Policy> Network<P> {
             llr,
             #[cfg(feature = "audit")]
             auditor: None,
+            #[cfg(feature = "mutate")]
+            mutation: None,
+            #[cfg(feature = "mutate")]
+            mutation_ticks: 0,
             effects: Vec::with_capacity(256),
             reqs: Vec::with_capacity(n_in * 4),
             matched_in: vec![false; n_in],
@@ -293,6 +305,27 @@ impl<P: Policy> Network<P> {
         all.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         all.truncate(k);
         all
+    }
+
+    // ----- mutation-testing fault seams (feature `mutate`) --------------
+
+    /// Install (or clear) a seeded flow-control defect. See
+    /// [`crate::mutation::EngineMutation`] for the catalog; used only by
+    /// the mutation-testing harness to measure auditor coverage.
+    #[cfg(feature = "mutate")]
+    pub fn set_engine_mutation(&mut self, mutation: Option<crate::mutation::EngineMutation>) {
+        self.mutation = mutation;
+        self.mutation_ticks = 0;
+    }
+
+    /// Downstream space a ring-entry grant must see: the §IV-C bubble
+    /// (two packets), unless a seeded mutation erodes it.
+    fn ring_entry_need(&self, size: u32) -> u32 {
+        #[cfg(feature = "mutate")]
+        if let Some(m) = self.mutation {
+            return m.ring_need(size);
+        }
+        2 * size
     }
 
     // ----- runtime invariant auditing (feature `audit`) -----------------
@@ -622,6 +655,10 @@ impl<P: Policy> Network<P> {
         let stats = &mut self.stats;
         #[cfg(feature = "audit")]
         let auditor = &mut self.auditor;
+        #[cfg(feature = "mutate")]
+        let mutation = self.mutation;
+        #[cfg(feature = "mutate")]
+        let mutation_ticks = &mut self.mutation_ticks;
         for (ridx, router) in self.routers.iter_mut().enumerate() {
             let g = topo.group_of(RouterId::from(ridx));
             for (port, input) in router.inputs.iter_mut().enumerate() {
@@ -682,6 +719,16 @@ impl<P: Policy> Network<P> {
                             });
                         }
                     }
+                    #[cfg(feature = "mutate")]
+                    if mutation.is_some() {
+                        // A seeded credit defect may legitimately
+                        // oversubscribe the buffer; the auditor above
+                        // recorded it, so land the packet anyway.
+                        input.vcs[vc as usize].push_overflowing(pkt, size);
+                    } else {
+                        input.vcs[vc as usize].push(pkt, size);
+                    }
+                    #[cfg(not(feature = "mutate"))]
                     input.vcs[vc as usize].push(pkt, size);
                 }
             }
@@ -692,9 +739,28 @@ impl<P: Policy> Network<P> {
                         break;
                     }
                     output.credit_events.pop_front();
+                    // Seeded credit-accounting skew (mutation testing):
+                    // drop, double or re-VC this landing so the auditor's
+                    // conservation checks can be exercised against real
+                    // in-engine defects.
+                    #[cfg(feature = "mutate")]
+                    let (vc, phits) = match mutation {
+                        Some(m) => {
+                            *mutation_ticks += 1;
+                            m.skew_credit(vc, phits, *mutation_ticks, output.credits.len())
+                        }
+                        None => (vc, phits),
+                    };
+                    #[cfg(feature = "mutate")]
+                    if phits == 0 {
+                        continue; // the seeded leak: credit never lands
+                    }
                     let cap = output.capacity[vc as usize];
                     let c = &mut output.credits[vc as usize];
                     *c += phits;
+                    #[cfg(feature = "mutate")]
+                    debug_assert!(mutation.is_some() || *c <= cap, "credit overflow");
+                    #[cfg(not(feature = "mutate"))]
                     debug_assert!(*c <= cap, "credit overflow");
                     // Release form of the assert above: a counter past
                     // the downstream capacity means a double credit.
@@ -763,6 +829,7 @@ impl<P: Policy> Network<P> {
     /// execution for one router.
     fn route_and_allocate(&mut self, ridx: usize, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
+        let ring_need = self.ring_entry_need(size);
         let router = RouterId::from(ridx);
 
         // --- collect one request per head-of-VC packet ---
@@ -838,7 +905,9 @@ impl<P: Policy> Network<P> {
                         self.reqs[i..j].iter().enumerate().map(|(k, r)| (i + k, r))
                     {
                         let out = req.out_port as usize;
-                        if self.matched_out[out] || !Self::eligible(store, req, now, size) {
+                        if self.matched_out[out]
+                            || !Self::eligible(store, req, now, size, ring_need)
+                        {
                             continue;
                         }
                         let stamp = store.inputs[in_port as usize].vc_served_at[vc as usize];
@@ -909,8 +978,9 @@ impl<P: Policy> Network<P> {
     }
 
     /// Grant eligibility: output idle, and downstream space for the
-    /// packet (twice the packet for ring entry — the bubble of §IV-C).
-    fn eligible(store: &RouterStore, req: Request, now: u64, size: u32) -> bool {
+    /// packet (`ring_need` — normally twice the packet, the bubble of
+    /// §IV-C — for ring entry).
+    fn eligible(store: &RouterStore, req: Request, now: u64, size: u32, ring_need: u32) -> bool {
         let out = &store.outputs[req.out_port as usize];
         if out.busy_until > now {
             return false;
@@ -919,7 +989,7 @@ impl<P: Policy> Network<P> {
             return true; // ejection: infinite sink
         }
         let need = match req.kind {
-            RequestKind::RingEnter => 2 * size,
+            RequestKind::RingEnter => ring_need,
             _ => size,
         };
         out.credits[req.out_vc as usize] >= need
@@ -1172,6 +1242,27 @@ impl<P: Policy> Network<P> {
             }
             RequestKind::RingEnter => {
                 debug_assert!(!was_on_ring);
+                // §IV-C bubble, re-checked per grant: every ring entry
+                // must see two packets of downstream room. The deep
+                // `BubbleLost` check only notices once the whole ring
+                // has wedged; this fast check catches the first eroded
+                // admission. Credits are still undecremented here.
+                #[cfg(feature = "audit")]
+                if let Some(a) = self.auditor.as_mut() {
+                    let credits = store.outputs[req.out_port as usize].credits[req.out_vc as usize];
+                    if credits < 2 * size {
+                        a.record(crate::audit::AuditViolation::RingEnterNoBubble {
+                            cycle: now,
+                            router: ridx as u32,
+                            port: req.out_port,
+                            vc: req.out_vc,
+                            credits,
+                            required: 2 * size,
+                        });
+                    } else {
+                        a.count(1);
+                    }
+                }
                 pkt.set(FLAG_ON_RING);
                 self.stats.ring_entries += 1;
             }

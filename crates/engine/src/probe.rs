@@ -109,6 +109,14 @@ impl ViewProbe {
         }
     }
 
+    /// Apply one fault transition to the probe's fault mask, so views
+    /// can be taken over a partially-dead router (failed links filter
+    /// `link_up`/`ring_up` exactly as they do in the live engine).
+    /// Returns whether the liveness mask changed.
+    pub fn apply_fault(&mut self, kind: crate::fault::FaultKind) -> bool {
+        self.faults.apply(kind, &self.fab)
+    }
+
     /// Borrow the current state as the view a policy routes against.
     pub fn view(&self) -> RouterView<'_> {
         RouterView::new(
@@ -158,5 +166,62 @@ mod tests {
         assert_eq!(probe.router(), RouterId::new(5));
         let lp = probe.fab().local_out(0);
         assert!(probe.view().available(lp, 0));
+    }
+
+    /// The all-zero-credit corner of the lattice: every routable port
+    /// reads fully occupied and unavailable, yet the escape outputs are
+    /// still *enumerable* — a policy must be able to ask for the ring
+    /// precisely when nothing else has room.
+    #[test]
+    fn zero_credit_lattice_saturates_every_port() {
+        let mut probe = ViewProbe::new(SimConfig::paper(2).with_ring(RingMode::Embedded));
+        probe.set_all(PortLoad::Congested);
+        let view = probe.view();
+        let n_out = probe.fab().n_out();
+        for port in 0..n_out {
+            if view.fab.out_kind(port) == crate::fabric::PortKind::Node {
+                continue; // ejection ports carry no credits
+            }
+            assert!(!view.available(port, 0), "port {port} must be saturated");
+            assert_eq!(view.occupancy(port, 0), 1.0, "port {port}");
+        }
+        let (port, vc) = view
+            .best_escape_vc()
+            .expect("escape outputs stay enumerable at zero credits");
+        assert_eq!(view.credits(port, vc), 0);
+        assert!(!view.available_with_bubble(port, vc));
+    }
+
+    /// Fault masks flow through the probe exactly as in the live engine:
+    /// a failed link turns its output port dead (`link_up` false, hence
+    /// unavailable at full credits), takes any ring crossing it down
+    /// with it, and a restore brings both back.
+    #[test]
+    fn dead_ports_under_fault_masks() {
+        use crate::fault::FaultKind;
+        let mut probe = ViewProbe::new(SimConfig::paper(2).with_ring(RingMode::Embedded));
+        probe.set_all(PortLoad::Empty);
+        let lp = probe.fab().local_out(0);
+        let peer = RouterId::new(probe.fab().out_link(probe.router(), lp).dst_router);
+
+        assert!(probe.view().link_up(lp));
+        assert!(probe.view().ring_up(0));
+
+        assert!(probe.apply_fault(FaultKind::FailLink(probe.router(), peer)));
+        let view = probe.view();
+        assert!(!view.link_up(lp), "failed link must read dead");
+        assert!(
+            !view.available(lp, 0),
+            "full credits cannot resurrect a dead port"
+        );
+        // The h=2 embedded ring uses every router's local links, so
+        // killing one severs the ring and best_escape_vc must refuse it.
+        assert!(!view.ring_up(0), "ring crossing the dead link is down");
+        assert!(view.best_escape_vc().is_none());
+
+        assert!(probe.apply_fault(FaultKind::RestoreLink(probe.router(), peer)));
+        assert!(probe.view().link_up(lp));
+        assert!(probe.view().ring_up(0));
+        assert!(probe.view().best_escape_vc().is_some());
     }
 }

@@ -1,0 +1,344 @@
+//! Drive one mutant through the oracle stack and record per-oracle
+//! verdicts.
+//!
+//! Which oracles run depends on the operator's category:
+//!
+//! * **Config** mutants go to the CDG certifier ([`ofar_verify::certify`])
+//!   — a skewed configuration must be refused before cycle 0, so the
+//!   other oracles never see it.
+//! * **Declaration** mutants go to the CDG certifier over the mutated
+//!   declaration ([`ofar_verify::certify_decl`]) *and* to the
+//!   conformance checker with the *real* policy against that
+//!   declaration — a declaration can be wrong in two directions
+//!   (cyclic, or an under-approximation of the code) and the two
+//!   oracles split that work.
+//! * **Policy** mutants go to the conformance model checker against the
+//!   real declaration, then through an audited adversarial burst
+//!   (runtime auditor + progress watchdog).
+//! * **Engine** mutants bypass the static stack entirely (the routing
+//!   code is untouched) and go straight to the audited burst.
+//!
+//! Every oracle that runs gets a recorded verdict, even after an
+//! earlier oracle already killed the mutant — the matrix wants to know
+//! *all* the detectors a defect trips, not just the first.
+
+use crate::operator::{MutationOp, OpCategory};
+use crate::MutantPolicy;
+use ofar_core::{burst_net, RunConfig, StallKind};
+use ofar_engine::{EngineMutation, Network, Policy, RingMode, SimConfig};
+use ofar_routing::{ClassEdge, ClassId, DependencyDecl, EdgeWhy, MechanismDeps, MechanismKind};
+use ofar_traffic::TrafficSpec;
+use ofar_verify::{
+    certify, certify_decl, conformance_with, OracleKind, OracleVerdict, RankingKind,
+};
+
+/// Deep-audit interval for mutation bursts: tight enough that a leaked
+/// or doubled credit is caught within a handful of cycles of the seam
+/// firing, loose enough that an h=2 burst stays fast.
+const AUDIT_INTERVAL: u64 = 8;
+
+/// Packets per node in the dynamic burst. Adversarial traffic at this
+/// depth saturates the global links at h=2 without making a single
+/// (mutant × oracle) run the matrix's critical path.
+const BURST_DEPTH: usize = 8;
+
+/// Every credit-seam mutation fires on every tick: the engine operators
+/// model a *systematically* wrong flow-control implementation, not a
+/// transient upset (PR-level fault injection already covers those).
+const ENGINE_PERIOD: u32 = 1;
+
+/// The verdicts of one mutant against every oracle that ran.
+#[derive(Clone, Debug)]
+pub struct MutantOutcome {
+    /// The seeded operator.
+    pub op: MutationOp,
+    /// The host mechanism.
+    pub mech: MechanismKind,
+    /// Per-oracle verdicts, in stack order. Oracles that do not apply
+    /// to the operator's category are absent.
+    pub verdicts: Vec<(OracleKind, OracleVerdict)>,
+}
+
+impl MutantOutcome {
+    /// The first oracle that killed the mutant, with its witness.
+    pub fn killed_by(&self) -> Option<(OracleKind, &str)> {
+        self.verdicts.iter().find_map(|(k, v)| match v {
+            OracleVerdict::Fail { witness } => Some((*k, witness.as_str())),
+            OracleVerdict::Pass => None,
+        })
+    }
+
+    /// Whether the mutant survived the whole stack.
+    pub fn survived(&self) -> bool {
+        self.killed_by().is_none()
+    }
+}
+
+/// Build the mutated configuration for a [`OpCategory::Config`]
+/// operator from the mechanism-adapted base.
+fn mutate_config(op: MutationOp, cfg: &SimConfig) -> SimConfig {
+    let mut cfg = *cfg;
+    match op {
+        MutationOp::CfgShallowRingBuffer => cfg.buf_ring = cfg.packet_size,
+        MutationOp::CfgNoRing => cfg.ring = RingMode::None,
+        MutationOp::CfgFoldedLadder => {
+            // The fold is the defect under test, not the ring: keep the
+            // mechanism-adapted ring mode and only collapse the ladder.
+            let folded = SimConfig::reduced_vcs(cfg.params.h);
+            cfg.vcs_local = folded.vcs_local;
+            cfg.vcs_global = folded.vcs_global;
+            cfg.vcs_injection = folded.vcs_injection;
+        }
+        _ => unreachable!("{} is not a config operator", op.name()),
+    }
+    cfg
+}
+
+/// Build the mutated declaration for a [`OpCategory::Declaration`]
+/// operator from the mechanism's real declaration.
+fn mutate_decl(op: MutationOp, decl: &MechanismDeps) -> MechanismDeps {
+    let mut decl = decl.clone();
+    match op {
+        MutationOp::DeclDropEscapeDrain => {
+            decl.edges
+                .retain(|e| !(e.to == ClassId::Escape && e.from != ClassId::Escape));
+        }
+        MutationOp::DeclFlattenLadder => {
+            for e in &mut decl.edges {
+                if let ClassId::Local { .. } = e.to {
+                    e.to = ClassId::Local { vc: 0 };
+                }
+            }
+            decl.edges.sort_unstable_by_key(|a| (a.from, a.to));
+            decl.edges.dedup_by_key(|e| (e.from, e.to));
+        }
+        MutationOp::DeclBackEdge => {
+            let top = decl
+                .edges
+                .iter()
+                .filter_map(|e| match e.to {
+                    ClassId::Local { vc } => Some(vc),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            decl.edges.push(ClassEdge {
+                from: ClassId::Local { vc: top },
+                to: ClassId::Local { vc: 0 },
+                why: EdgeWhy::MisrouteLocal,
+            });
+        }
+        MutationOp::DeclDropInject => {
+            decl.edges
+                .retain(|e| !matches!(e.from, ClassId::Inject { .. }));
+        }
+        _ => unreachable!("{} is not a declaration operator", op.name()),
+    }
+    decl
+}
+
+/// Run the two dynamic oracles: an audited adversarial burst over a
+/// caller-prepared network. Returns `(audit, watchdog)` verdicts.
+fn dynamic_verdicts<P: Policy>(net: &mut Network<P>, seed: u64) -> (OracleVerdict, OracleVerdict) {
+    net.enable_audit_with_interval(AUDIT_INTERVAL);
+    let result = burst_net(
+        net,
+        &TrafficSpec::adversarial(1),
+        BURST_DEPTH,
+        seed,
+        RunConfig::default(),
+    );
+    // `burst_net` only attaches the report when `ofar-core` itself is
+    // built with auditing; this harness enables the *engine* auditor
+    // directly, so pull the report off the network.
+    let report = result
+        .audit
+        .or_else(|| net.take_audit_report())
+        .unwrap_or_default();
+    let audit = if report.is_clean() {
+        OracleVerdict::Pass
+    } else {
+        OracleVerdict::Fail {
+            witness: format!(
+                "{} violation(s); first: {}",
+                report.total_violations(),
+                report
+                    .violations
+                    .first()
+                    .map(|v| v.to_string())
+                    .unwrap_or_default()
+            ),
+        }
+    };
+    let watchdog = match result.stall {
+        None => OracleVerdict::Pass,
+        Some(stall) => OracleVerdict::Fail {
+            witness: stall_witness(&stall, result.delivered),
+        },
+    };
+    (audit, watchdog)
+}
+
+/// Compact witness for a watchdog diagnosis (the raw `StallKind` drags
+/// whole router lists along).
+fn stall_witness(stall: &StallKind, delivered: u64) -> String {
+    match stall {
+        StallKind::Partition { unreachable_pairs } => format!(
+            "partition: {} unreachable pairs, {delivered} delivered",
+            unreachable_pairs.len()
+        ),
+        StallKind::RetransmissionStorm { retransmits, .. } => {
+            format!("retransmission storm: {retransmits} retransmits, {delivered} delivered")
+        }
+        StallKind::Deadlock { stalled_routers } => format!(
+            "deadlock: {} stalled routers, {delivered} delivered",
+            stalled_routers.len()
+        ),
+        StallKind::Livelock { stalled_routers } => format!(
+            "livelock: {} stalled routers, {delivered} delivered",
+            stalled_routers.len()
+        ),
+    }
+}
+
+/// Run one `(operator × mechanism)` mutant through its oracles.
+///
+/// `cfg` is the *base* configuration (e.g. [`SimConfig::paper`]); it is
+/// adapted to the mechanism here. The seed only affects the dynamic
+/// burst — the static oracles enumerate instead of sampling.
+pub fn run_mutant(
+    op: MutationOp,
+    kind: MechanismKind,
+    cfg: &SimConfig,
+    seed: u64,
+) -> MutantOutcome {
+    assert!(op.applies_to(kind));
+    let cfg = kind.adapt_config(*cfg);
+    let rank = RankingKind::for_mechanism(kind);
+    let mut verdicts = Vec::new();
+    match op.category() {
+        OpCategory::Config => {
+            let bad = mutate_config(op, &cfg);
+            let cdg = match certify(&bad, kind) {
+                Ok(_) => OracleVerdict::Pass,
+                Err(e) => OracleVerdict::Fail {
+                    witness: e.to_string(),
+                },
+            };
+            verdicts.push((OracleKind::Cdg, cdg));
+        }
+        OpCategory::Declaration => {
+            let bad = mutate_decl(op, &kind.dependency_decl(&cfg));
+            let cdg = match certify_decl(&cfg, &bad) {
+                Ok(_) => OracleVerdict::Pass,
+                Err(e) => OracleVerdict::Fail {
+                    witness: e.to_string(),
+                },
+            };
+            verdicts.push((OracleKind::Cdg, cdg));
+            let conf = match conformance_with(&cfg, kind.build(&cfg, 0), bad, rank) {
+                Ok(_) => OracleVerdict::Pass,
+                Err(e) => OracleVerdict::Fail {
+                    witness: e.to_string(),
+                },
+            };
+            verdicts.push((OracleKind::Conformance, conf));
+        }
+        OpCategory::Policy => {
+            let decl = kind.dependency_decl(&cfg);
+            let conf =
+                match conformance_with(&cfg, MutantPolicy::new(op, kind, &cfg, 0), decl, rank) {
+                    Ok(_) => OracleVerdict::Pass,
+                    Err(e) => OracleVerdict::Fail {
+                        witness: e.to_string(),
+                    },
+                };
+            verdicts.push((OracleKind::Conformance, conf));
+            let mut net = Network::new(cfg, MutantPolicy::new(op, kind, &cfg, seed));
+            let (audit, watchdog) = dynamic_verdicts(&mut net, seed);
+            verdicts.push((OracleKind::Audit, audit));
+            verdicts.push((OracleKind::Watchdog, watchdog));
+        }
+        OpCategory::Engine => {
+            // The bubble-skip defect only bites when ring entries are
+            // actually attempted against depleted escape credits, so
+            // that mutant gets the most hostile tuning the real OFAR
+            // code allows: zero ring patience (every blocked head asks
+            // for the ring at once) and a misroute threshold that
+            // admits nothing (blocked heads cannot dodge sideways, so
+            // the ring is the only relief valve). The default tuning
+            // misroutes around congestion and never enters the ring at
+            // this scale, leaving the seam unexercised.
+            let policy = if op == MutationOp::EngineRingBubbleSkip && kind.needs_ring() {
+                kind.build_tuned(
+                    &cfg,
+                    seed,
+                    Some(ofar_routing::OfarConfig {
+                        ring_patience: 0,
+                        threshold: ofar_routing::MisrouteThreshold::Static {
+                            th_min: 0.0,
+                            th_nonmin: -1.0,
+                        },
+                        ..ofar_routing::OfarConfig::base()
+                    }),
+                    None,
+                )
+            } else {
+                kind.build(&cfg, seed)
+            };
+            let mut net = Network::new(cfg, policy);
+            net.set_engine_mutation(Some(engine_mutation(op)));
+            let (audit, watchdog) = dynamic_verdicts(&mut net, seed);
+            verdicts.push((OracleKind::Audit, audit));
+            verdicts.push((OracleKind::Watchdog, watchdog));
+        }
+    }
+    MutantOutcome {
+        op,
+        mech: kind,
+        verdicts,
+    }
+}
+
+/// Map an engine-category operator onto the engine's fault seam.
+fn engine_mutation(op: MutationOp) -> EngineMutation {
+    match op {
+        MutationOp::EngineCreditLeak => EngineMutation::CreditLeak {
+            period: ENGINE_PERIOD,
+        },
+        MutationOp::EngineCreditDouble => EngineMutation::CreditDouble {
+            period: ENGINE_PERIOD,
+        },
+        MutationOp::EngineEscapeVcSkew => EngineMutation::EscapeVcSkew {
+            period: ENGINE_PERIOD,
+        },
+        MutationOp::EngineRingBubbleSkip => EngineMutation::RingBubbleSkip,
+        _ => unreachable!("{} is not an engine operator", op.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_mutants_are_killed_by_the_cdg_oracle() {
+        let cfg = SimConfig::paper(2);
+        let out = run_mutant(MutationOp::CfgNoRing, MechanismKind::Ofar, &cfg, 1);
+        let (oracle, witness) = out.killed_by().expect("ring-less OFAR must be refused");
+        assert_eq!(oracle, OracleKind::Cdg);
+        assert!(!witness.is_empty());
+    }
+
+    #[test]
+    fn dropped_escape_drain_is_killed_statically() {
+        let cfg = SimConfig::paper(2);
+        let out = run_mutant(
+            MutationOp::DeclDropEscapeDrain,
+            MechanismKind::Ofar,
+            &cfg,
+            1,
+        );
+        assert_eq!(out.killed_by().expect("must be killed").0, OracleKind::Cdg);
+    }
+}

@@ -5,7 +5,6 @@
 //! `1/(2h²)` under adversarial inter-group patterns (§III).
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
-use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin};
 use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 
 /// Minimal routing.
@@ -54,14 +53,8 @@ impl Policy for MinPolicy {
     }
 }
 
-impl EnumerablePolicy for MinPolicy {
-    // MIN is deterministic: no choices to pin, nothing ever sampled.
-    fn set_probe(&mut self, _pin: Option<ProbePin>) {}
-
-    fn probe_feedback(&self) -> ProbeFeedback {
-        ProbeFeedback::default()
-    }
-}
+// MIN is deterministic: no choices to pin, nothing ever sampled.
+crate::probe::impl_enumerable_deterministic!(MinPolicy);
 
 #[cfg(test)]
 mod tests {

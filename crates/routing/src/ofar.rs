@@ -29,7 +29,7 @@
 //! local misrouting disabled.
 
 use crate::common::{group_pos, hop_to_request, injection_vc, live_minimal_hop, VcLadder};
-use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
+use crate::probe::ProbeState;
 use ofar_engine::{
     InputCtx, Packet, Policy, PortKind, Request, RequestKind, RouterView, SimConfig,
     FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,
@@ -500,18 +500,7 @@ impl Policy for OfarPolicy {
     }
 }
 
-impl EnumerablePolicy for OfarPolicy {
-    fn set_probe(&mut self, pin: Option<ProbePin>) {
-        self.probe = ProbeState {
-            pin,
-            feedback: ProbeFeedback::default(),
-        };
-    }
-
-    fn probe_feedback(&self) -> ProbeFeedback {
-        self.probe.feedback
-    }
-}
+crate::probe::impl_enumerable_via_probe!(OfarPolicy);
 
 #[cfg(test)]
 mod tests {

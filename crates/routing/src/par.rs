@@ -16,7 +16,7 @@
 //! deadlock argument intact for the (up to) two source-group local hops.
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
-use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
+use crate::probe::ProbeState;
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
     InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig, FLAG_AUX,
@@ -171,18 +171,7 @@ impl Policy for ParPolicy {
     }
 }
 
-impl EnumerablePolicy for ParPolicy {
-    fn set_probe(&mut self, pin: Option<ProbePin>) {
-        self.probe = ProbeState {
-            pin,
-            feedback: ProbeFeedback::default(),
-        };
-    }
-
-    fn probe_feedback(&self) -> ProbeFeedback {
-        self.probe.feedback
-    }
-}
+crate::probe::impl_enumerable_via_probe!(ParPolicy);
 
 /// The `vcs_local = 4` configuration PAR needs, derived from a base
 /// config.

@@ -19,7 +19,7 @@
 //! best value found there.
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
-use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
+use crate::probe::ProbeState;
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
     InputCtx, NetSnapshot, Packet, Policy, Request, RequestKind, RouterView, SimConfig,
@@ -185,18 +185,7 @@ impl Policy for PbPolicy {
     }
 }
 
-impl EnumerablePolicy for PbPolicy {
-    fn set_probe(&mut self, pin: Option<ProbePin>) {
-        self.probe = ProbeState {
-            pin,
-            feedback: ProbeFeedback::default(),
-        };
-    }
-
-    fn probe_feedback(&self) -> ProbeFeedback {
-        self.probe.feedback
-    }
-}
+crate::probe::impl_enumerable_via_probe!(PbPolicy);
 
 #[cfg(test)]
 mod tests {

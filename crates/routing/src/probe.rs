@@ -70,6 +70,45 @@ pub trait EnumerablePolicy: Policy {
     fn probe_feedback(&self) -> ProbeFeedback;
 }
 
+/// Implement [`EnumerablePolicy`] for a policy that stores its pin and
+/// feedback in a `probe: ProbeState` field — the standard shape shared
+/// by every randomized mechanism (VAL, PB, PAR, OFAR). `set_probe`
+/// installs the pin and clears the feedback; `probe_feedback` reads the
+/// last call's feedback back out.
+macro_rules! impl_enumerable_via_probe {
+    ($ty:ty) => {
+        impl $crate::probe::EnumerablePolicy for $ty {
+            fn set_probe(&mut self, pin: Option<$crate::probe::ProbePin>) {
+                self.probe = $crate::probe::ProbeState {
+                    pin,
+                    feedback: $crate::probe::ProbeFeedback::default(),
+                };
+            }
+
+            fn probe_feedback(&self) -> $crate::probe::ProbeFeedback {
+                self.probe.feedback
+            }
+        }
+    };
+}
+
+/// Implement [`EnumerablePolicy`] for a deterministic policy: pins are
+/// accepted and ignored, and the feedback always reports that nothing
+/// was sampled.
+macro_rules! impl_enumerable_deterministic {
+    ($ty:ty) => {
+        impl $crate::probe::EnumerablePolicy for $ty {
+            fn set_probe(&mut self, _pin: Option<$crate::probe::ProbePin>) {}
+
+            fn probe_feedback(&self) -> $crate::probe::ProbeFeedback {
+                $crate::probe::ProbeFeedback::default()
+            }
+        }
+    };
+}
+
+pub(crate) use {impl_enumerable_deterministic, impl_enumerable_via_probe};
+
 /// Per-policy probe state: the installed pin plus the feedback of the
 /// last call. Deterministic policies keep the default (no-op) state.
 #[derive(Clone, Copy, Debug, Default)]

@@ -13,7 +13,7 @@
 //! links, capping throughput at `1/h`.
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
-use crate::probe::{EnumerablePolicy, ProbeFeedback, ProbePin, ProbeState};
+use crate::probe::ProbeState;
 use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 use ofar_topology::GroupId;
 use rand::rngs::SmallRng;
@@ -115,18 +115,7 @@ impl Policy for ValiantPolicy {
     }
 }
 
-impl EnumerablePolicy for ValiantPolicy {
-    fn set_probe(&mut self, pin: Option<ProbePin>) {
-        self.probe = ProbeState {
-            pin,
-            feedback: ProbeFeedback::default(),
-        };
-    }
-
-    fn probe_feedback(&self) -> ProbeFeedback {
-        self.probe.feedback
-    }
-}
+crate::probe::impl_enumerable_via_probe!(ValiantPolicy);
 
 #[cfg(test)]
 mod tests {

@@ -17,9 +17,13 @@ pub enum LinkKind {
 /// connects to router `dst` global port `dst_port`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GlobalLink {
+    /// Router hosting the source end.
     pub src: RouterId,
+    /// Global port index at `src`.
     pub src_port: usize,
+    /// Router hosting the destination end.
     pub dst: RouterId,
+    /// Global port index at `dst`.
     pub dst_port: usize,
 }
 

@@ -31,9 +31,19 @@ use crate::ids::RouterId;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RingEdge {
     /// Local link: `from`'s local port `port`.
-    Local { from: RouterId, port: usize },
+    Local {
+        /// Router the edge departs from.
+        from: RouterId,
+        /// Local port index at `from`.
+        port: usize,
+    },
     /// Global link: `from`'s global port `port`.
-    Global { from: RouterId, port: usize },
+    Global {
+        /// Router the edge departs from.
+        from: RouterId,
+        /// Global port index at `from`.
+        port: usize,
+    },
 }
 
 impl RingEdge {

@@ -36,10 +36,12 @@
 
 mod cdg;
 mod explore;
+pub mod oracle;
 mod ranking;
 mod report;
 mod ring_spec;
 
+pub use oracle::{certify_decl, run_static_stack, OracleKind, OracleVerdict, StaticVerdicts};
 pub use ranking::RankingKind;
 pub use report::{
     Certificate, ChannelRef, ConformanceError, ConformanceReport, TransitionWitness, VerifyError,

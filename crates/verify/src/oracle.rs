@@ -1,0 +1,142 @@
+//! Structured oracle driver: run the static certifier stack against an
+//! *arbitrary* policy/declaration and return per-oracle verdicts.
+//!
+//! The mutation-testing harness (`crates/mutate`) measures whether the
+//! proof stack actually detects seeded defects. Each certifier here is
+//! one *oracle*; a defect is *killed* when at least one oracle rejects
+//! it with a witness. This module drives the two static oracles — the
+//! CDG deadlock verifier and the routing-conformance model checker —
+//! against subjects the safe constructors ([`crate::certify`],
+//! [`crate::conformance`]) can never build: mutated declarations,
+//! perturbed configurations and deliberately defective policies. The
+//! two dynamic oracles (runtime invariant audit, burst watchdog) need
+//! the engine and runners, so their driver lives with the harness; the
+//! verdict vocabulary here is shared by all four.
+
+use crate::report::{Certificate, ConformanceError, ConformanceReport, VerifyError};
+use crate::ring_spec::RingSpec;
+use crate::{explore, verify_decl, RankingKind};
+use ofar_engine::{RingMode, SimConfig};
+use ofar_routing::{EnumerablePolicy, MechanismDeps};
+use ofar_topology::{Dragonfly, HamiltonianRing};
+
+/// The four independent correctness oracles of the proof stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OracleKind {
+    /// Static channel-dependency-graph deadlock verifier
+    /// ([`crate::certify`] / [`crate::verify_decl`]).
+    Cdg,
+    /// Routing-conformance model checker ([`crate::conformance_with`]):
+    /// declaration containment, livelock ranking, observed-graph
+    /// re-certification.
+    Conformance,
+    /// Runtime invariant auditor (engine `audit` feature) over a
+    /// dynamic run.
+    Audit,
+    /// Burst progress watchdog: deadlock/livelock/partition diagnosis
+    /// of a dynamic run.
+    Watchdog,
+}
+
+impl OracleKind {
+    /// Short stable name used in kill-matrix reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Cdg => "cdg",
+            OracleKind::Conformance => "conformance",
+            OracleKind::Audit => "audit",
+            OracleKind::Watchdog => "watchdog",
+        }
+    }
+}
+
+/// Outcome of one oracle against one subject.
+#[derive(Clone, Debug)]
+pub enum OracleVerdict {
+    /// The oracle accepted the subject (for a mutant: the defect
+    /// *survived* this oracle).
+    Pass,
+    /// The oracle rejected the subject, naming the witness (cycle,
+    /// ranking violation, transition, audit violation or stall).
+    Fail {
+        /// Human-readable structured witness (the oracle's typed error,
+        /// rendered).
+        witness: String,
+    },
+}
+
+impl OracleVerdict {
+    /// Whether the oracle rejected the subject.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, OracleVerdict::Fail { .. })
+    }
+}
+
+/// Verdicts of the static half of the stack for one subject.
+#[derive(Clone, Debug)]
+pub struct StaticVerdicts {
+    /// CDG deadlock verifier on the *declared* dependency graph.
+    pub cdg: OracleVerdict,
+    /// Conformance model check of the real (or mutated) routing code
+    /// against that declaration.
+    pub conformance: OracleVerdict,
+}
+
+/// [`crate::certify`] with an explicit (possibly mutated) declaration:
+/// validate the configuration, build the topology and escape rings it
+/// implies, and discharge the CDG proof obligations for `decl`.
+pub fn certify_decl(cfg: &SimConfig, decl: &MechanismDeps) -> Result<Certificate, VerifyError> {
+    cfg.validate().map_err(|e| match e {
+        ofar_engine::ConfigError::RingBufferNoBubble { cap } => VerifyError::Bubble {
+            cap,
+            required: 2 * cfg.packet_size,
+        },
+        other => VerifyError::Config(other),
+    })?;
+    let topo = Dragonfly::new(cfg.params);
+    let rings: Vec<RingSpec> = if cfg.ring == RingMode::None {
+        Vec::new()
+    } else {
+        HamiltonianRing::embed_disjoint(&topo, cfg.escape_rings)
+            .iter()
+            .map(|r| RingSpec::from_ring(&topo, r))
+            .collect()
+    };
+    verify_decl(&topo, cfg, decl, &rings)
+}
+
+/// Run both static oracles against an arbitrary `(policy, declaration,
+/// ranking)` subject and return structured verdicts. The oracles run
+/// independently — a declaration the CDG verifier rejects is still
+/// model-checked, because the harness wants to know *every* oracle that
+/// catches a given defect, not just the first.
+pub fn run_static_stack<P: EnumerablePolicy>(
+    cfg: &SimConfig,
+    policy: P,
+    decl: MechanismDeps,
+    rank: RankingKind,
+) -> StaticVerdicts {
+    let cdg = match certify_decl(cfg, &decl) {
+        Ok(_) => OracleVerdict::Pass,
+        Err(e) => OracleVerdict::Fail {
+            witness: e.to_string(),
+        },
+    };
+    let conformance = match explore::conformance_with(cfg, policy, decl, rank) {
+        Ok(_) => OracleVerdict::Pass,
+        Err(e) => OracleVerdict::Fail {
+            witness: e.to_string(),
+        },
+    };
+    StaticVerdicts { cdg, conformance }
+}
+
+/// Convenience: render a conformance result as a verdict.
+pub fn conformance_verdict(result: &Result<ConformanceReport, ConformanceError>) -> OracleVerdict {
+    match result {
+        Ok(_) => OracleVerdict::Pass,
+        Err(e) => OracleVerdict::Fail {
+            witness: e.to_string(),
+        },
+    }
+}

@@ -1,0 +1,105 @@
+//! The §IV-C patience counter, pinned through [`ViewProbe`]: the
+//! head-blocked `wait` counter is the *only* bit that moves a fully
+//! blocked packet from waiting on its minimal VC to requesting the
+//! escape ring. Probing the decision directly (no cycle engine) keeps
+//! the toggle point exact — one cycle under patience waits, patience
+//! itself enters the ring.
+
+use ofar::engine::{InputCtx, Packet, PortKind, PortLoad, RequestKind, ViewProbe};
+use ofar::prelude::*;
+use ofar::routing::{MisrouteThreshold, OfarConfig};
+use ofar::topology::{GroupId, NodeId};
+
+const PATIENCE: u16 = 8;
+
+/// OFAR with misrouting denied: a blocked head can only wait or enter
+/// the ring, so the patience counter alone decides.
+fn patient_ofar(cfg: &SimConfig) -> Mechanism {
+    MechanismKind::Ofar.build_tuned(
+        cfg,
+        0,
+        Some(OfarConfig {
+            ring_patience: PATIENCE,
+            threshold: MisrouteThreshold::Static {
+                th_min: 0.0,
+                th_nonmin: -1.0,
+            },
+            ..OfarConfig::base()
+        }),
+        None,
+    )
+}
+
+/// A packet at router 0 headed for a remote group, with its head-blocked
+/// counter preset to `wait`.
+fn blocked_packet(probe: &ViewProbe, wait: u8) -> Packet {
+    let topo = probe.fab().topo();
+    let dst = (0..topo.num_nodes() as u32)
+        .map(NodeId::new)
+        .find(|&n| topo.group_of_node(n) == GroupId::new(1))
+        .expect("group 1 has nodes");
+    Packet {
+        id: 1,
+        injected_at: 0,
+        src: NodeId::new(0),
+        dst,
+        intermediate: None,
+        flags: 0,
+        ring_exits_left: 1,
+        local_hops: 0,
+        global_hops: 0,
+        ring_hops: 0,
+        wait,
+        cur_group: GroupId::new(0),
+    }
+}
+
+#[test]
+fn patience_counter_toggles_the_ring_request() {
+    let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(2));
+    let mut policy = patient_ofar(&cfg);
+    let mut probe = ViewProbe::new(cfg);
+    probe.set_all(PortLoad::Congested);
+    let input = InputCtx {
+        port: 0,
+        vc: 0,
+        kind: PortKind::Node,
+        is_escape_vc: false,
+    };
+
+    // Below patience (route() itself adds the current cycle's wait):
+    // the blocked head keeps requesting its minimal VC.
+    let mut pkt = blocked_packet(&probe, 0);
+    let req = policy
+        .route(&probe.view(), input, &mut pkt)
+        .expect("a blocked head still posts its minimal request");
+    assert_eq!(req.kind, RequestKind::Minimal);
+    assert_eq!(pkt.wait, 1, "route() advances the head-blocked counter");
+
+    // One cycle short of patience: still waiting on minimal.
+    let mut pkt = blocked_packet(&probe, (PATIENCE - 2) as u8);
+    let req = policy.route(&probe.view(), input, &mut pkt).unwrap();
+    assert_eq!(
+        req.kind,
+        RequestKind::Minimal,
+        "wait {} < patience",
+        pkt.wait
+    );
+
+    // At patience, the same state flips to a ring-entry request.
+    let mut pkt = blocked_packet(&probe, (PATIENCE - 1) as u8);
+    let req = policy.route(&probe.view(), input, &mut pkt).unwrap();
+    assert_eq!(
+        req.kind,
+        RequestKind::RingEnter,
+        "wait {} >= patience must escape",
+        pkt.wait
+    );
+
+    // The toggle is driven by the counter, not by accumulated calls:
+    // resetting wait (as the engine does on every grant) goes back to
+    // the minimal request.
+    let mut pkt = blocked_packet(&probe, 0);
+    let req = policy.route(&probe.view(), input, &mut pkt).unwrap();
+    assert_eq!(req.kind, RequestKind::Minimal);
+}

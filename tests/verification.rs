@@ -214,89 +214,36 @@ fn conformance_results_are_cached() {
 
 mod mutants {
     use super::*;
-    use ofar::engine::{InputCtx, NetSnapshot, Request, RequestKind, RouterView};
-    use ofar::routing::{ClassId, EnumerablePolicy, ProbeFeedback, ProbePin};
+    use ofar::routing::ClassId;
     use ofar::verify::{conformance_with, ConformanceError, RankingKind};
+    use ofar_mutate::{MutantPolicy, MutationOp};
 
-    /// Delegate everything to the wrapped real mechanism except `route`,
-    /// which each mutant perturbs.
-    macro_rules! delegate_policy {
-        ($ty:ident, $name:expr) => {
-            impl Policy for $ty {
-                fn name(&self) -> &'static str {
-                    $name
-                }
-                fn route(
-                    &mut self,
-                    view: &RouterView<'_>,
-                    input: InputCtx,
-                    pkt: &mut ofar::engine::Packet,
-                ) -> Option<Request> {
-                    self.mutate(view, input, pkt)
-                }
-                fn on_inject(
-                    &mut self,
-                    view: &RouterView<'_>,
-                    pkt: &mut ofar::engine::Packet,
-                ) -> usize {
-                    self.inner.on_inject(view, pkt)
-                }
-                fn end_cycle(&mut self, net: &NetSnapshot<'_>) {
-                    self.inner.end_cycle(net)
-                }
-                fn needs_ring(&self) -> bool {
-                    self.inner.needs_ring()
-                }
-            }
-            impl EnumerablePolicy for $ty {
-                fn set_probe(&mut self, pin: Option<ProbePin>) {
-                    self.inner.set_probe(pin)
-                }
-                fn probe_feedback(&self) -> ProbeFeedback {
-                    self.inner.probe_feedback()
-                }
-            }
-        };
+    /// These three started life as hand-rolled wrapper policies in this
+    /// file; they are now drawn from the operator catalog in
+    /// `crates/mutate` (which also runs them, and 70+ siblings, through
+    /// the full kill matrix — see the `mutants` bench bin). The original
+    /// witness assertions are preserved verbatim: each pins not just
+    /// *that* the checker rejects the mutant but *where* it localizes
+    /// the defect.
+    fn mutant(op: MutationOp, kind: MechanismKind) -> Result<(), ConformanceError> {
+        let cfg = kind.adapt_config(SimConfig::paper(2));
+        conformance_with(
+            &cfg,
+            MutantPolicy::new(op, kind, &cfg, 0),
+            kind.dependency_decl(&cfg),
+            RankingKind::for_mechanism(kind),
+        )
+        .map(|_| ())
     }
 
-    /// Mutant 1 — a livelock: OFAR that never leaves its escape ring.
-    /// Ring exits (and ring ejections) are replaced by ring advances, so
-    /// an on-ring packet rides past its destination forever. The ranking
+    /// `ring-rider` — a livelock: OFAR that never leaves its escape
+    /// ring. Ring exits (and ring ejections) become ring advances, so an
+    /// on-ring packet rides past its destination forever. The ranking
     /// (ring distance to destination) must catch the wrap-around.
-    struct OfarRingRider {
-        inner: Mechanism,
-    }
-    impl OfarRingRider {
-        fn mutate(
-            &mut self,
-            view: &RouterView<'_>,
-            input: InputCtx,
-            pkt: &mut ofar::engine::Packet,
-        ) -> Option<Request> {
-            let req = self.inner.route(view, input, pkt)?;
-            if input.is_escape_vc && matches!(req.kind, RequestKind::RingExit | RequestKind::Eject)
-            {
-                let ring = view.fab.ring_of_input(view.router, input.port, input.vc)?;
-                let (port, vc) = view.escape_vc_of_ring(ring)?;
-                return Some(Request::new(port, vc, RequestKind::RingAdvance));
-            }
-            Some(req)
-        }
-    }
-    delegate_policy!(OfarRingRider, "OFAR-ring-rider");
-
     #[test]
     fn ring_riding_ofar_is_rejected_by_the_ranking() {
-        let cfg = MechanismKind::Ofar.adapt_config(SimConfig::paper(2));
-        let inner = MechanismKind::Ofar.build(&cfg, 0);
-        let decl = MechanismKind::Ofar.dependency_decl(&cfg);
-        let err = conformance_with(
-            &cfg,
-            OfarRingRider { inner },
-            decl,
-            RankingKind::for_mechanism(MechanismKind::Ofar),
-        )
-        .expect_err("a packet that rides past its destination must be rejected");
+        let err = mutant(MutationOp::RingRider, MechanismKind::Ofar)
+            .expect_err("a packet that rides past its destination must be rejected");
         match err {
             ConformanceError::RankingViolation {
                 witness,
@@ -312,40 +259,13 @@ mod mutants {
         }
     }
 
-    /// Mutant 2 — a deadlock seed: Valiant that forgets to climb the VC
-    /// ladder on local hops (every local request reuses VC 0). The first
+    /// `local-vc-flatten` on Valiant — a deadlock seed: every local
+    /// request reuses VC 0 instead of climbing the ladder. The first
     /// post-global local hop lands outside the declared ladder.
-    struct ValFlatLadder {
-        inner: Mechanism,
-    }
-    impl ValFlatLadder {
-        fn mutate(
-            &mut self,
-            view: &RouterView<'_>,
-            input: InputCtx,
-            pkt: &mut ofar::engine::Packet,
-        ) -> Option<Request> {
-            let mut req = self.inner.route(view, input, pkt)?;
-            if view.fab.out_kind(req.out_port as usize) == ofar::engine::PortKind::Local {
-                req.out_vc = 0;
-            }
-            Some(req)
-        }
-    }
-    delegate_policy!(ValFlatLadder, "VAL-flat-ladder");
-
     #[test]
     fn flat_ladder_valiant_is_rejected_as_undeclared() {
-        let cfg = MechanismKind::Valiant.adapt_config(SimConfig::paper(2));
-        let inner = MechanismKind::Valiant.build(&cfg, 0);
-        let decl = MechanismKind::Valiant.dependency_decl(&cfg);
-        let err = conformance_with(
-            &cfg,
-            ValFlatLadder { inner },
-            decl,
-            RankingKind::for_mechanism(MechanismKind::Valiant),
-        )
-        .expect_err("reusing local VC 0 after a global hop must be rejected");
+        let err = mutant(MutationOp::LocalVcFlatten, MechanismKind::Valiant)
+            .expect_err("reusing local VC 0 after a global hop must be rejected");
         match err {
             ConformanceError::UndeclaredTransition { witness, .. } => {
                 assert_eq!(witness.to, ClassId::Local { vc: 0 });
@@ -359,41 +279,14 @@ mod mutants {
         }
     }
 
-    /// Mutant 3 — minimal routing that ejects destination-group traffic
-    /// into local VC 0 instead of the top ladder VC: the declared
+    /// `local-vc-flatten` on MIN — destination-group traffic lands in
+    /// local VC 0 instead of the top ladder VC: the declared
     /// `global → local(top)` dependency is replaced by an undeclared
     /// `global → local:v0` edge (a cycle seed under contention).
-    struct MinFlatVc {
-        inner: Mechanism,
-    }
-    impl MinFlatVc {
-        fn mutate(
-            &mut self,
-            view: &RouterView<'_>,
-            input: InputCtx,
-            pkt: &mut ofar::engine::Packet,
-        ) -> Option<Request> {
-            let mut req = self.inner.route(view, input, pkt)?;
-            if view.fab.out_kind(req.out_port as usize) == ofar::engine::PortKind::Local {
-                req.out_vc = 0;
-            }
-            Some(req)
-        }
-    }
-    delegate_policy!(MinFlatVc, "MIN-flat-vc");
-
     #[test]
     fn flat_vc_minimal_is_rejected_as_undeclared() {
-        let cfg = MechanismKind::Min.adapt_config(SimConfig::paper(2));
-        let inner = MechanismKind::Min.build(&cfg, 0);
-        let decl = MechanismKind::Min.dependency_decl(&cfg);
-        let err = conformance_with(
-            &cfg,
-            MinFlatVc { inner },
-            decl,
-            RankingKind::for_mechanism(MechanismKind::Min),
-        )
-        .expect_err("a flat-VC minimal router must be rejected");
+        let err = mutant(MutationOp::LocalVcFlatten, MechanismKind::Min)
+            .expect_err("a flat-VC minimal router must be rejected");
         match err {
             ConformanceError::UndeclaredTransition { witness, .. } => {
                 assert_eq!(witness.to, ClassId::Local { vc: 0 });
