@@ -1,0 +1,109 @@
+//! Engine-throughput baseline (ROADMAP item 1): time the h=4
+//! adversarial burst and the snapshot codec, and emit the measurements
+//! as JSON — to stdout and, when a path argument is given, to that file
+//! (the checked-in seed lives at `BENCH_engine.json`).
+//!
+//! Reported figures:
+//!
+//! * burst: simulated cycles/sec and delivered phits/sec of wall time —
+//!   the numbers the hot-path rewrite must move;
+//! * snapshot: serialized size plus save/restore wall latency at
+//!   mid-burst occupancy (the checkpoint layer's per-checkpoint cost).
+//!
+//! Wall-clock figures are machine-dependent; the committed seed records
+//! one reference machine's trajectory, not a CI-enforced bound.
+
+use ofar_core::prelude::*;
+use std::time::Instant;
+
+/// Median wall time of `reps` runs of `f`, in milliseconds.
+fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let _keep = f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let h: usize = std::env::var("OFAR_H")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let ppn = 24;
+    let seed = 42;
+    let kind = MechanismKind::Ofar;
+    let spec = TrafficSpec::adversarial(1);
+    let cfg = kind.adapt_config(SimConfig::paper(h).with_seed(seed));
+    let nodes = cfg.params.nodes();
+    eprintln!(
+        "engine baseline: h={h} ({nodes} nodes), {ppn} pkts/node {} burst",
+        spec.label()
+    );
+
+    // --- burst throughput ------------------------------------------------
+    // Warm the per-process certification cache first so the timing below
+    // measures the cycle engine, not the one-off CDG proof.
+    burst(cfg, kind, &spec, 1, seed);
+    let wall = Instant::now();
+    let r = burst(cfg, kind, &spec, ppn, seed);
+    let burst_secs = wall.elapsed().as_secs_f64();
+    let cycles = r.cycles.expect("baseline burst must drain");
+    let cycles_per_sec = cycles as f64 / burst_secs;
+    let phits_per_sec = r.stats.delivered_phits as f64 / burst_secs;
+    eprintln!(
+        "burst: {cycles} cycles in {:.2}s — {:.0} cycles/s, {:.0} phits/s",
+        burst_secs, cycles_per_sec, phits_per_sec
+    );
+
+    // --- snapshot codec --------------------------------------------------
+    // Rebuild the burst and stop halfway to the drain point, where
+    // occupancy (and therefore snapshot size) is representative.
+    let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    let topo = Dragonfly::new(cfg.params);
+    let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
+    for n in 0..nodes {
+        for _ in 0..ppn {
+            let src = NodeId::from(n);
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        }
+    }
+    net.run(cycles / 2);
+    let snap = net.save_snapshot();
+    let save_ms = median_ms(5, || net.save_snapshot());
+    let restore_ms = median_ms(5, || {
+        let mut fresh = Network::new(cfg, kind.build(&cfg, seed));
+        fresh.restore_snapshot(&snap).expect("restore");
+        fresh
+    });
+    eprintln!(
+        "snapshot: {} bytes, save {:.2} ms, restore {:.2} ms",
+        snap.len(),
+        save_ms,
+        restore_ms
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"config\": {{ \"h\": {h}, \"nodes\": {nodes}, \
+         \"mechanism\": \"{}\", \"pattern\": \"{}\", \"packets_per_node\": {ppn}, \"seed\": {seed} }},\n  \
+         \"burst\": {{ \"cycles\": {cycles}, \"delivered_packets\": {}, \"delivered_phits\": {}, \
+         \"wall_secs\": {burst_secs:.3}, \"cycles_per_sec\": {cycles_per_sec:.0}, \
+         \"phits_per_sec\": {phits_per_sec:.0} }},\n  \
+         \"snapshot\": {{ \"bytes\": {}, \"save_ms\": {save_ms:.3}, \"restore_ms\": {restore_ms:.3} }}\n}}\n",
+        kind.name(),
+        spec.label(),
+        r.stats.delivered_packets,
+        r.stats.delivered_phits,
+        snap.len(),
+    );
+    print!("{json}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &json).expect("write benchmark json");
+        eprintln!("wrote {path}");
+    }
+}

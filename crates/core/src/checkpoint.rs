@@ -1,0 +1,391 @@
+//! Periodic auto-checkpoints for long steady-state runs.
+//!
+//! A checkpoint is one file holding everything a run needs to continue
+//! bit-exactly: the engine snapshot (see `ofar_engine::snapshot`), the
+//! traffic-generator and injection-process RNG streams, the cycle
+//! counter, and — once the measurement window has opened — the stats
+//! baseline captured at its start. Files are written atomically and
+//! carry a whole-file CRC-32, so a kill mid-write leaves either the
+//! previous checkpoint or a file that fails validation and is skipped;
+//! resume picks the newest *valid* checkpoint for the run's key.
+//!
+//! Enabled via the environment (`OFAR_CHECKPOINT_EVERY` = cycles between
+//! checkpoints, `OFAR_CHECKPOINT_DIR` = directory, default
+//! `results/checkpoints`) or programmatically with
+//! [`CheckpointPolicy::every`] — see
+//! [`crate::run::steady_state_checkpointed`].
+
+use ofar_engine::{
+    config_fingerprint, crc32, write_atomic, Network, Policy, SimConfig, SnapshotError, Stats,
+    STATS_COUNTERS,
+};
+use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
+use std::path::PathBuf;
+
+use crate::run::SteadyOpts;
+use ofar_routing::MechanismKind;
+
+/// Checkpoint file magic (distinct from the engine snapshot's, which is
+/// nested inside).
+const CKPT_MAGIC: [u8; 8] = *b"OFARCKPT";
+/// Checkpoint container format version.
+const CKPT_VERSION: u32 = 1;
+/// Upper bound accepted for the nested snapshot length (allocation
+/// guard against corrupt length fields).
+const CKPT_SNAP_BOUND: usize = 1 << 28;
+
+/// When and where to take checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Cycles between checkpoints; `None` disables both saving and
+    /// resuming.
+    pub interval: Option<u64>,
+    /// Directory holding the checkpoint files.
+    pub dir: PathBuf,
+    /// How many newest checkpoints to retain per run key.
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpointing off (the default when the environment says nothing).
+    pub fn disabled() -> Self {
+        Self {
+            interval: None,
+            dir: PathBuf::from("results/checkpoints"),
+            keep: 2,
+        }
+    }
+
+    /// Checkpoint every `cycles` cycles into `dir`.
+    pub fn every(cycles: u64, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            interval: (cycles > 0).then_some(cycles),
+            dir: dir.into(),
+            keep: 2,
+        }
+    }
+
+    /// Read `OFAR_CHECKPOINT_EVERY` / `OFAR_CHECKPOINT_DIR` from the
+    /// environment. Unset, empty or unparsable `EVERY` disables
+    /// checkpointing.
+    pub fn from_env() -> Self {
+        let interval = std::env::var("OFAR_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&e| e > 0);
+        let dir = std::env::var("OFAR_CHECKPOINT_DIR")
+            .unwrap_or_else(|_| "results/checkpoints".to_string());
+        Self {
+            interval,
+            dir: dir.into(),
+            keep: 2,
+        }
+    }
+
+    /// Whether checkpointing is active.
+    pub fn enabled(&self) -> bool {
+        self.interval.is_some()
+    }
+
+    /// Whether a checkpoint is owed after completing `cycle` of `total`
+    /// (never at the very end — the run is about to finish anyway).
+    pub(crate) fn due(&self, cycle: u64, total: u64) -> bool {
+        matches!(self.interval, Some(e) if cycle.is_multiple_of(e) && cycle < total)
+    }
+
+    fn file(&self, key: u32, cycle: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{key:08x}-{cycle:016x}.bin"))
+    }
+
+    /// Write a checkpoint for run `key` after `cycle` cycles, then prune
+    /// old files beyond [`CheckpointPolicy::keep`].
+    pub fn save<P: Policy>(
+        &self,
+        key: u32,
+        cycle: u64,
+        start: Option<&Stats>,
+        net: &Network<P>,
+        gen: &TrafficGen,
+        bern: &Bernoulli,
+    ) -> Result<(), SnapshotError> {
+        let bytes = encode(
+            key,
+            cycle,
+            start,
+            gen.rng_state(),
+            bern.rng_state(),
+            &net.save_snapshot(),
+        );
+        write_atomic(&self.file(key, cycle), &bytes)?;
+        self.prune(key);
+        Ok(())
+    }
+
+    /// Remove all but the newest [`CheckpointPolicy::keep`] checkpoints
+    /// of run `key` (best-effort).
+    fn prune(&self, key: u32) {
+        let mut files = self.list(key);
+        files.sort_by_key(|&(cycle, _)| std::cmp::Reverse(cycle)); // newest first
+        for (_, path) in files.into_iter().skip(self.keep) {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// `(cycle, path)` of every file named like a checkpoint of `key`.
+    fn list(&self, key: u32) -> Vec<(u64, PathBuf)> {
+        let prefix = format!("ckpt-{key:08x}-");
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let hex = name.strip_prefix(&prefix)?.strip_suffix(".bin")?;
+                let cycle = u64::from_str_radix(hex, 16).ok()?;
+                Some((cycle, e.path()))
+            })
+            .collect()
+    }
+
+    /// Load the newest checkpoint of run `key` that decodes and
+    /// validates; corrupt or truncated files are skipped, not fatal.
+    /// Returns `None` when checkpointing is disabled.
+    pub fn resume(&self, key: u32) -> Option<Checkpoint> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut files = self.list(key);
+        files.sort_by_key(|&(cycle, _)| std::cmp::Reverse(cycle)); // newest first
+        files.into_iter().find_map(|(_, path)| {
+            let bytes = std::fs::read(path).ok()?;
+            decode(&bytes, key)
+        })
+    }
+}
+
+/// A decoded, checksum-verified checkpoint, ready to restore.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Cycles already simulated when the checkpoint was taken.
+    pub cycle: u64,
+    /// Stats baseline at the start of the measurement window, if the
+    /// window had already opened.
+    pub start: Option<Stats>,
+    gen_rng: [u64; 4],
+    bern_rng: [u64; 4],
+    snap: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Restore the network and both RNG streams. The nested engine
+    /// snapshot re-validates its own checksums and the configuration
+    /// fingerprint, so a checkpoint can never be replayed onto a
+    /// different experiment.
+    pub fn restore<P: Policy>(
+        &self,
+        net: &mut Network<P>,
+        gen: &mut TrafficGen,
+        bern: &mut Bernoulli,
+    ) -> Result<(), SnapshotError> {
+        net.restore_snapshot(&self.snap)?;
+        gen.set_rng_state(self.gen_rng);
+        bern.set_rng_state(self.bern_rng);
+        Ok(())
+    }
+}
+
+/// Key identifying one steady-state run: every input that affects its
+/// trajectory, hashed to a u32 used in checkpoint file names. `tunables`
+/// carries the debug rendering of any mechanism tunables so an ablation
+/// run never resumes a differently-tuned checkpoint.
+pub fn run_key(
+    cfg: &SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    load: f64,
+    opts: SteadyOpts,
+    seed: u64,
+    tunables: &str,
+) -> u32 {
+    crc32(
+        format!(
+            "ckpt cfg={:08x} spec={} load={:016x} warmup={} measure={} seed={} tunables={}",
+            config_fingerprint(cfg, kind.name()),
+            spec.label(),
+            load.to_bits(),
+            opts.warmup,
+            opts.measure,
+            seed,
+            tunables
+        )
+        .as_bytes(),
+    )
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(b: &[u8], o: &mut usize) -> Option<u32> {
+    let s = b.get(*o..*o + 4)?;
+    *o += 4;
+    Some(u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn get_u64(b: &[u8], o: &mut usize) -> Option<u64> {
+    let s = b.get(*o..*o + 8)?;
+    *o += 8;
+    Some(u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+/// Serialize a checkpoint: magic, version, run key, cycle, optional
+/// stats baseline, both RNG streams, the nested engine snapshot, and a
+/// whole-file CRC-32 trailer.
+fn encode(
+    key: u32,
+    cycle: u64,
+    start: Option<&Stats>,
+    gen_rng: [u64; 4],
+    bern_rng: [u64; 4],
+    snap: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(snap.len() + 64 + STATS_COUNTERS * 8);
+    out.extend_from_slice(&CKPT_MAGIC);
+    put_u32(&mut out, CKPT_VERSION);
+    put_u32(&mut out, key);
+    put_u64(&mut out, cycle);
+    match start {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            for c in s.counters() {
+                put_u64(&mut out, c);
+            }
+        }
+    }
+    for w in gen_rng.iter().chain(bern_rng.iter()) {
+        put_u64(&mut out, *w);
+    }
+    put_u32(
+        &mut out,
+        u32::try_from(snap.len()).expect("snapshot over 4 GiB"),
+    );
+    out.extend_from_slice(snap);
+    let trailer = crc32(&out);
+    put_u32(&mut out, trailer);
+    out
+}
+
+/// Parse and validate a checkpoint file. Any defect — bad checksum,
+/// magic, version, key mismatch, short or oversized payload — yields
+/// `None`: a corrupt checkpoint is treated as absent, never trusted.
+fn decode(bytes: &[u8], expect_key: u32) -> Option<Checkpoint> {
+    if bytes.len() < CKPT_MAGIC.len() + 4 {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    if crc32(body) != u32::from_le_bytes(trailer.try_into().unwrap()) {
+        return None;
+    }
+    if body.get(..CKPT_MAGIC.len())? != CKPT_MAGIC {
+        return None;
+    }
+    let mut o = CKPT_MAGIC.len();
+    if get_u32(body, &mut o)? != CKPT_VERSION {
+        return None;
+    }
+    if get_u32(body, &mut o)? != expect_key {
+        return None;
+    }
+    let cycle = get_u64(body, &mut o)?;
+    let start = match *body.get(o)? {
+        0 => {
+            o += 1;
+            None
+        }
+        1 => {
+            o += 1;
+            let mut counters = [0u64; STATS_COUNTERS];
+            for c in counters.iter_mut() {
+                *c = get_u64(body, &mut o)?;
+            }
+            let mut s = Stats::default();
+            s.set_counters(&counters);
+            Some(s)
+        }
+        _ => return None,
+    };
+    let mut gen_rng = [0u64; 4];
+    for w in gen_rng.iter_mut() {
+        *w = get_u64(body, &mut o)?;
+    }
+    let mut bern_rng = [0u64; 4];
+    for w in bern_rng.iter_mut() {
+        *w = get_u64(body, &mut o)?;
+    }
+    let snap_len = get_u32(body, &mut o)? as usize;
+    if snap_len > CKPT_SNAP_BOUND || body.len() - o != snap_len {
+        return None;
+    }
+    let snap = body[o..].to_vec();
+    Some(Checkpoint {
+        cycle,
+        start,
+        gen_rng,
+        bern_rng,
+        snap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let start = Stats {
+            delivered_packets: 77,
+            latency_sum: 1234,
+            ..Default::default()
+        };
+        let snap = vec![1u8, 2, 3, 4, 5];
+        let bytes = encode(0xAB, 4096, Some(&start), [1, 2, 3, 4], [5, 6, 7, 8], &snap);
+        let ck = decode(&bytes, 0xAB).expect("valid checkpoint must decode");
+        assert_eq!(ck.cycle, 4096);
+        assert_eq!(ck.start.as_ref().unwrap().delivered_packets, 77);
+        assert_eq!(ck.gen_rng, [1, 2, 3, 4]);
+        assert_eq!(ck.bern_rng, [5, 6, 7, 8]);
+        assert_eq!(ck.snap, snap);
+        // warmup-phase checkpoint has no baseline
+        let bytes2 = encode(0xAB, 10, None, [1, 2, 3, 4], [5, 6, 7, 8], &snap);
+        assert!(decode(&bytes2, 0xAB).unwrap().start.is_none());
+    }
+
+    #[test]
+    fn corruption_and_mismatch_fail_closed() {
+        let bytes = encode(0xAB, 4096, None, [1, 2, 3, 4], [5, 6, 7, 8], &[9, 9]);
+        assert!(decode(&bytes, 0xCD).is_none(), "wrong run key");
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut], 0xAB).is_none(), "truncation at {cut}");
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode(&bad, 0xAB).is_none(), "bit flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn due_respects_interval_and_end() {
+        let p = CheckpointPolicy::every(100, "x");
+        assert!(p.due(100, 1000));
+        assert!(!p.due(150, 1000));
+        assert!(!p.due(1000, 1000), "no checkpoint at the finish line");
+        assert!(!CheckpointPolicy::disabled().due(100, 1000));
+    }
+}

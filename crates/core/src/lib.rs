@@ -31,20 +31,27 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod faults;
 pub mod run;
+pub mod store;
 pub mod table;
 pub mod theory;
 
+pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use experiments::Scale;
 pub use faults::{
     ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
 };
 pub use run::{
     burst, burst_comparison, burst_faulted, burst_net, derive_watchdog, load_sweep,
-    saturation_throughput, steady_state, steady_state_tuned, transient, BurstResult, RunConfig,
-    StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+    replay_snapshot, saturation_throughput, steady_state, steady_state_checkpointed,
+    steady_state_tuned, transient, BurstResult, CycleTrace, ReplayReport, RunConfig, StallKind,
+    SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+};
+pub use store::{
+    point_from_line, point_key, point_to_line, resumable_load_sweep, write_atomic_text, ResultStore,
 };
 pub use table::Table;
 
@@ -57,20 +64,23 @@ pub use ofar_verify as verify;
 
 /// Everything needed for typical experiments.
 pub mod prelude {
+    pub use crate::checkpoint::{Checkpoint, CheckpointPolicy};
     pub use crate::experiments::{self, Scale};
     pub use crate::faults::{
         ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
     };
     pub use crate::run::{
         burst, burst_comparison, burst_faulted, burst_net, derive_watchdog, load_sweep,
-        saturation_throughput, steady_state, steady_state_tuned, transient, BurstResult, RunConfig,
-        StallKind, SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
+        replay_snapshot, saturation_throughput, steady_state, steady_state_checkpointed,
+        steady_state_tuned, transient, BurstResult, CycleTrace, ReplayReport, RunConfig, StallKind,
+        SteadyOpts, SteadyPoint, TransientBucket, TransientOpts,
     };
+    pub use crate::store::{resumable_load_sweep, ResultStore};
     pub use crate::table::Table;
     pub use crate::theory;
     pub use ofar_engine::{
         random_global_links, AuditReport, AuditViolation, FaultKind, FaultPlan, Network, Policy,
-        RingMode, SimConfig, Stats, StatsWindow,
+        RingMode, SimConfig, SnapshotError, Stats, StatsWindow,
     };
     pub use ofar_routing::{
         DependencyDecl, Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy,

@@ -1,11 +1,15 @@
 //! Experiment runners: steady state, load sweeps, transients and bursts
 //! (§VI of the paper).
 
-use ofar_engine::{AuditReport, FaultPlan, Network, Policy, SimConfig, Stats, StatsWindow};
+use crate::checkpoint::CheckpointPolicy;
+use ofar_engine::{
+    AuditReport, FaultPlan, Network, Policy, SimConfig, SnapshotError, Stats, StatsWindow,
+};
 use ofar_routing::MechanismKind;
 use ofar_topology::{NodeId, RouterId};
 use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
 use rayon::prelude::*;
+use std::path::Path;
 
 /// Warmup/measurement lengths for steady-state runs.
 #[derive(Clone, Copy, Debug)]
@@ -26,7 +30,7 @@ impl Default for SteadyOpts {
 }
 
 /// One point of a steady-state curve.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SteadyPoint {
     /// Offered load in phits/(node·cycle).
     pub load: f64,
@@ -110,6 +114,52 @@ pub fn steady_state_tuned(
     ofar: Option<ofar_routing::OfarConfig>,
     pb: Option<ofar_routing::PbConfig>,
 ) -> SteadyPoint {
+    steady_state_resumable(
+        cfg,
+        kind,
+        spec,
+        load,
+        opts,
+        seed,
+        ofar,
+        pb,
+        &CheckpointPolicy::from_env(),
+    )
+}
+
+/// [`steady_state`] with an explicit [`CheckpointPolicy`] instead of the
+/// environment-derived one — the programmatic entry point for
+/// kill-and-resume harnesses and tests.
+pub fn steady_state_checkpointed(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    load: f64,
+    opts: SteadyOpts,
+    seed: u64,
+    ckpt: &CheckpointPolicy,
+) -> SteadyPoint {
+    steady_state_resumable(cfg, kind, spec, load, opts, seed, None, None, ckpt)
+}
+
+/// The single steady-state driver behind [`steady_state`],
+/// [`steady_state_tuned`] and [`steady_state_checkpointed`]: one unified
+/// warmup+measure loop so a run can be checkpointed at any cycle and
+/// resumed from the newest valid checkpoint bit-exactly. With
+/// checkpointing disabled the loop is step-for-step identical to the
+/// original two-phase (warmup, then measure) structure.
+#[allow(clippy::too_many_arguments)]
+fn steady_state_resumable(
+    cfg: SimConfig,
+    kind: MechanismKind,
+    spec: &TrafficSpec,
+    load: f64,
+    opts: SteadyOpts,
+    seed: u64,
+    ofar: Option<ofar_routing::OfarConfig>,
+    pb: Option<ofar_routing::PbConfig>,
+    ckpt: &CheckpointPolicy,
+) -> SteadyPoint {
     let cfg = kind.adapt_config(cfg);
     ensure_certified(&cfg, kind);
     let mut net = Network::new(cfg, kind.build_tuned(&cfg, seed, ofar, pb));
@@ -117,22 +167,50 @@ pub fn steady_state_tuned(
     let mut gen = TrafficGen::new(&topo, spec.clone(), seed.wrapping_add(1));
     let mut bern = Bernoulli::new(load, cfg.packet_size, seed.wrapping_add(2));
     let nodes = net.num_nodes();
-    for _ in 0..opts.warmup {
+    let total = opts.warmup + opts.measure;
+
+    let key = crate::checkpoint::run_key(
+        &cfg,
+        kind,
+        spec,
+        load,
+        opts,
+        seed,
+        &format!("{ofar:?}/{pb:?}"),
+    );
+    let mut cycle = 0u64;
+    let mut start: Option<Stats> = None;
+    if let Some(resume) = ckpt.resume(key) {
+        // A checkpoint that fails to restore (config drift, corrupt
+        // nested snapshot) is discarded and the run starts from zero —
+        // resumption is an optimization, never a correctness risk.
+        if resume.restore(&mut net, &mut gen, &mut bern).is_ok() {
+            cycle = resume.cycle;
+            start = resume.start.clone();
+        }
+    }
+
+    while cycle <= total {
+        if cycle == opts.warmup {
+            start = Some(net.stats().clone());
+            net.enable_delivery_log();
+        }
+        if cycle == total {
+            break;
+        }
         bern.cycle(nodes, |src| {
             let dst = gen.destination(src);
             net.generate(src, dst);
         });
         net.step();
+        cycle += 1;
+        if ckpt.due(cycle, total) {
+            // Best-effort: a full disk must not kill the simulation.
+            ckpt.save(key, cycle, start.as_ref(), &net, &gen, &bern)
+                .ok();
+        }
     }
-    let start = net.stats().clone();
-    net.enable_delivery_log();
-    for _ in 0..opts.measure {
-        bern.cycle(nodes, |src| {
-            let dst = gen.destination(src);
-            net.generate(src, dst);
-        });
-        net.step();
-    }
+    let start = start.expect("warmup boundary is always crossed");
     let w = StatsWindow::between(&start, net.stats(), opts.measure, nodes);
     // Latency percentiles over packets *generated* during the window
     // (excludes warmup stragglers delivered early in the window).
@@ -506,6 +584,7 @@ pub fn burst_net<P: Policy>(
         if no_grant || no_delivery {
             let retx_since = net.stats().llr_retransmits - retx_at_last_delivery;
             let stall = diagnose_stall(net, watchdog, no_grant, retx_since);
+            postmortem_dump(net, &stall);
             return BurstResult {
                 cycles: None,
                 delivered,
@@ -528,6 +607,130 @@ pub fn burst_net<P: Policy>(
         stats: net.stats().clone(),
         audit: final_audit(net),
     }
+}
+
+/// When `OFAR_POSTMORTEM_DIR` is set, dump a full engine snapshot plus a
+/// plain-text diagnosis next to it the moment a stall is diagnosed —
+/// *before* the burst runner consumes the delivery log. The snapshot can
+/// be replayed later with [`replay_snapshot`] (or `ofar-sim --replay`)
+/// to watch the network's final cycles with per-cycle tracing.
+/// Best-effort: a dump failure never turns a diagnosed stall into a
+/// crash.
+fn postmortem_dump<P: Policy>(net: &Network<P>, stall: &StallKind) {
+    let Ok(dir) = std::env::var("OFAR_POSTMORTEM_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let dir = std::path::PathBuf::from(dir);
+    let base = format!("stall-{}", net.now());
+    let snap = net.save_snapshot();
+    if ofar_engine::write_atomic(&dir.join(format!("{base}.snap")), &snap).is_err() {
+        return;
+    }
+    let s = net.stats();
+    let report = format!(
+        "cycle: {}\ndiagnosis: {stall:#?}\n\ninjected: {}\ndelivered: {}\n\
+         last_delivery: {}\nlast_grant: {}\nllr_retransmits: {}\n\
+         link_failures: {}\nrouter_failures: {}\nsnapshot: {base}.snap ({} bytes)\n",
+        net.now(),
+        s.injected_packets,
+        s.delivered_packets,
+        s.last_delivery,
+        s.last_grant,
+        s.llr_retransmits,
+        s.link_failures,
+        s.router_failures,
+        snap.len(),
+    );
+    crate::store::write_atomic_text(&dir.join(format!("{base}.txt")), &report).ok();
+}
+
+/// One cycle of a replayed snapshot (see [`replay_snapshot`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CycleTrace {
+    /// Cycle number (continues the original run's clock).
+    pub cycle: u64,
+    /// Packets delivered during this cycle.
+    pub delivered: u64,
+    /// Link-level retransmissions issued during this cycle.
+    pub retransmits: u64,
+    /// Whether any crossbar output was granted this cycle.
+    pub granted: bool,
+    /// Packets injected but not yet delivered after this cycle.
+    pub in_flight: u64,
+}
+
+/// Result of replaying a snapshot (see [`replay_snapshot`]).
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Mechanism named by the snapshot.
+    pub mechanism: String,
+    /// Cycle at which the snapshot was taken.
+    pub start_cycle: u64,
+    /// Cycle at which the replay stopped.
+    pub end_cycle: u64,
+    /// Per-cycle trace of the replayed window.
+    pub trace: Vec<CycleTrace>,
+    /// Engine counters at the end of the replay.
+    pub stats: Stats,
+    /// Whether the network drained during the replay.
+    pub drained: bool,
+    /// Runtime invariant audit over the replay (`audit` builds only).
+    pub audit: Option<AuditReport>,
+}
+
+/// Restore a snapshot file (e.g. a post-mortem stall dump) and re-run up
+/// to `cycles` further cycles with per-cycle tracing and no new
+/// injection. The embedded configuration is re-certified through the
+/// same CDG gate as a fresh run before a single cycle executes, and
+/// under the `audit` feature the replay runs fully audited.
+///
+/// The mechanism is rebuilt with its default tunables; its dynamic state
+/// (RNG streams, piggybacked congestion estimates) is restored from the
+/// snapshot's policy section.
+pub fn replay_snapshot(path: &Path, cycles: u64) -> Result<ReplayReport, SnapshotError> {
+    let bytes = ofar_engine::read_file(path)?;
+    let header = ofar_engine::peek_header(&bytes)?;
+    let kind = MechanismKind::from_name(&header.mechanism)
+        .ok_or(SnapshotError::Malformed("unknown mechanism name"))?;
+    let cfg = header.config;
+    ensure_certified(&cfg, kind);
+    let mut net = Network::new(cfg, kind.build(&cfg, cfg.seed));
+    #[cfg(feature = "audit")]
+    net.enable_audit();
+    net.restore_snapshot(&bytes)?;
+    let start_cycle = net.now();
+    let mut trace = Vec::with_capacity(cycles.min(1 << 20) as usize);
+    let mut prev_delivered = net.stats().delivered_packets;
+    let mut prev_retx = net.stats().llr_retransmits;
+    for _ in 0..cycles {
+        if net.drained() {
+            break;
+        }
+        let before = net.now();
+        net.step();
+        let s = net.stats();
+        trace.push(CycleTrace {
+            cycle: net.now(),
+            delivered: s.delivered_packets - prev_delivered,
+            retransmits: s.llr_retransmits - prev_retx,
+            granted: s.last_grant >= before,
+            in_flight: s.injected_packets - s.delivered_packets,
+        });
+        prev_delivered = s.delivered_packets;
+        prev_retx = s.llr_retransmits;
+    }
+    Ok(ReplayReport {
+        mechanism: header.mechanism,
+        start_cycle,
+        end_cycle: net.now(),
+        trace,
+        stats: net.stats().clone(),
+        drained: net.drained(),
+        audit: final_audit(&mut net),
+    })
 }
 
 /// 99th-percentile latency of a delivery log (`(injected_at, latency)`

@@ -431,6 +431,174 @@ impl FaultState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint codec (see crate::snapshot)
+// ---------------------------------------------------------------------
+
+use crate::snapshot::{Dec, Enc, SnapshotError};
+
+/// Decode-time cap on fault-set sizes: generous for any real plan,
+/// tight enough to refuse an allocation bomb in a corrupt file.
+const SNAP_FAULT_BOUND: usize = 1 << 20;
+
+fn encode_pair(e: &mut Enc, (a, b): (RouterId, RouterId)) {
+    e.u32(a.0);
+    e.u32(b.0);
+}
+
+fn decode_pair(d: &mut Dec<'_>) -> Result<(RouterId, RouterId), SnapshotError> {
+    Ok((RouterId::new(d.u32()?), RouterId::new(d.u32()?)))
+}
+
+fn encode_kind(e: &mut Enc, kind: FaultKind) {
+    match kind {
+        FaultKind::FailLink(a, b) => {
+            e.u8(0);
+            encode_pair(e, (a, b));
+        }
+        FaultKind::RestoreLink(a, b) => {
+            e.u8(1);
+            encode_pair(e, (a, b));
+        }
+        FaultKind::FailRouter(r) => {
+            e.u8(2);
+            e.u32(r.0);
+        }
+        FaultKind::RestoreRouter(r) => {
+            e.u8(3);
+            e.u32(r.0);
+        }
+        FaultKind::CorruptPhit(a, b) => {
+            e.u8(4);
+            encode_pair(e, (a, b));
+        }
+        FaultKind::DropPhit(a, b) => {
+            e.u8(5);
+            encode_pair(e, (a, b));
+        }
+        FaultKind::SetLinkBer(a, b, ppm) => {
+            e.u8(6);
+            encode_pair(e, (a, b));
+            e.u32(ppm);
+        }
+    }
+}
+
+fn decode_kind(d: &mut Dec<'_>) -> Result<FaultKind, SnapshotError> {
+    Ok(match d.u8()? {
+        0 => {
+            let (a, b) = decode_pair(d)?;
+            FaultKind::FailLink(a, b)
+        }
+        1 => {
+            let (a, b) = decode_pair(d)?;
+            FaultKind::RestoreLink(a, b)
+        }
+        2 => FaultKind::FailRouter(RouterId::new(d.u32()?)),
+        3 => FaultKind::RestoreRouter(RouterId::new(d.u32()?)),
+        4 => {
+            let (a, b) = decode_pair(d)?;
+            FaultKind::CorruptPhit(a, b)
+        }
+        5 => {
+            let (a, b) = decode_pair(d)?;
+            FaultKind::DropPhit(a, b)
+        }
+        6 => {
+            let (a, b) = decode_pair(d)?;
+            let ppm = d.u32()?;
+            FaultKind::SetLinkBer(a, b, ppm)
+        }
+        _ => return Err(SnapshotError::Malformed("unknown fault kind")),
+    })
+}
+
+impl FaultPlan {
+    /// Append the remaining schedule to a checkpoint.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        e.usize(self.events.len());
+        for ev in &self.events {
+            e.u64(ev.at);
+            encode_kind(e, ev.kind);
+        }
+    }
+
+    /// Rebuild a schedule written by [`FaultPlan::snap_encode`].
+    pub(crate) fn snap_decode(d: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        let n = d.len(SNAP_FAULT_BOUND, "fault plan size")?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = d.u64()?;
+            let kind = decode_kind(d)?;
+            events.push(FaultEvent { at, kind });
+        }
+        Ok(Self { events })
+    }
+}
+
+impl FaultState {
+    /// Append the live fault sets to a checkpoint. The derived per-port
+    /// and per-ring liveness is *not* written — it is a pure function of
+    /// the sets and is recomputed on restore — so the two can never
+    /// disagree after a round-trip. Hash containers are written in
+    /// sorted order to keep the byte stream deterministic.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        let mut links: Vec<_> = self.failed_links.iter().copied().collect();
+        links.sort_unstable();
+        e.usize(links.len());
+        for l in links {
+            encode_pair(e, l);
+        }
+        let mut routers: Vec<_> = self.failed_routers.iter().copied().collect();
+        routers.sort_unstable();
+        e.usize(routers.len());
+        for r in routers {
+            e.u32(r.0);
+        }
+        for map in [
+            &self.pending_corrupt,
+            &self.pending_drop,
+            &self.link_ber_ppm,
+        ] {
+            let mut kv: Vec<_> = map.iter().map(|(&k, &v)| (k, v)).collect();
+            kv.sort_unstable();
+            e.usize(kv.len());
+            for (k, v) in kv {
+                encode_pair(e, k);
+                e.u32(v);
+            }
+        }
+    }
+
+    /// Rebuild the fault state written by [`FaultState::snap_encode`],
+    /// re-deriving port and ring liveness from the restored sets.
+    pub(crate) fn snap_decode(d: &mut Dec<'_>, fab: &Fabric) -> Result<Self, SnapshotError> {
+        let mut state = Self::new(fab);
+        let n_links = d.len(SNAP_FAULT_BOUND, "failed-link set size")?;
+        for _ in 0..n_links {
+            state.failed_links.insert(decode_pair(d)?);
+        }
+        let n_routers = d.len(SNAP_FAULT_BOUND, "failed-router set size")?;
+        for _ in 0..n_routers {
+            state.failed_routers.insert(RouterId::new(d.u32()?));
+        }
+        for map_idx in 0..3 {
+            let n = d.len(SNAP_FAULT_BOUND, "transient fault map size")?;
+            for _ in 0..n {
+                let k = decode_pair(d)?;
+                let v = d.u32()?;
+                match map_idx {
+                    0 => state.pending_corrupt.insert(k, v),
+                    1 => state.pending_drop.insert(k, v),
+                    _ => state.link_ber_ppm.insert(k, v),
+                };
+            }
+        }
+        state.recompute(fab);
+        Ok(state)
+    }
+}
+
 fn ring_alive(topo: &Dragonfly, ring: &HamiltonianRing, faults: &FaultState) -> bool {
     ring.edges()
         .iter()

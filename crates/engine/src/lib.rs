@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
 
 pub mod audit;
 pub mod buffer;
@@ -39,6 +40,7 @@ pub mod packet;
 pub mod policy;
 pub mod probe;
 pub mod router;
+pub mod snapshot;
 pub mod stats;
 
 pub use audit::{AuditReport, AuditViolation, Auditor};
@@ -55,4 +57,8 @@ pub use packet::{
 };
 pub use policy::{InputCtx, NetSnapshot, Policy, RouterView};
 pub use probe::{PortLoad, ViewProbe, PROBE_NOW};
-pub use stats::{Stats, StatsWindow};
+pub use snapshot::{
+    config_fingerprint, peek_header, read_file, write_atomic, SnapshotError, SnapshotHeader,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use stats::{Stats, StatsWindow, STATS_COUNTERS};

@@ -534,6 +534,160 @@ impl Llr {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint codec (see crate::snapshot)
+// ---------------------------------------------------------------------
+
+use crate::snapshot::{decode_packet, encode_packet, Dec, Enc, SnapshotError};
+
+/// Decode-time sanity cap on in-flight queues (acks, wire metadata):
+/// far above anything a real run produces, far below an allocation bomb.
+const SNAP_QUEUE_BOUND: usize = 1 << 20;
+
+impl Llr {
+    /// Append the complete link-layer state: every replay buffer, ack in
+    /// flight, selective-repeat window, wire queue and counter, plus the
+    /// wire-error RNG — everything needed for a bit-exact resume.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        e.usize(self.n_out);
+        e.usize(self.n_in);
+        e.usize(self.window);
+        e.u64(self.rng);
+        e.usize(self.tx.len());
+        for tx in &self.tx {
+            e.u32(tx.next_seq);
+            e.usize(tx.entries.len());
+            for en in &tx.entries {
+                e.u32(en.seq);
+                e.u8(en.out_vc);
+                e.u32(en.retries);
+                e.u64(en.sent_at);
+                e.u8(u8::from(en.lost));
+                encode_packet(e, &en.pkt);
+                e.u32(en.crc);
+            }
+            e.usize(tx.acks.len());
+            for a in &tx.acks {
+                e.u64(a.at);
+                e.u32(a.seq);
+                e.u8(u8::from(a.ok));
+            }
+        }
+        e.usize(self.rx.len());
+        for rx in &self.rx {
+            e.u32(rx.base);
+            e.u64(rx.mask);
+            e.usize(rx.wire.len());
+            for w in &rx.wire {
+                e.u32(w.seq);
+                e.u32(w.wire_crc);
+            }
+        }
+        e.usize(self.retx_per_link.len());
+        for &c in &self.retx_per_link {
+            e.u64(c);
+        }
+        e.usize(self.delivered_ids.len());
+        for &w in &self.delivered_ids {
+            e.u64(w);
+        }
+    }
+
+    /// Rebuild the link-layer state written by [`Llr::snap_encode`],
+    /// validating every dimension against the restoring fabric.
+    pub(crate) fn snap_decode(d: &mut Dec<'_>, fab: &Fabric) -> Result<Self, SnapshotError> {
+        let nr = fab.topo().num_routers();
+        let n_out = d.usize()?;
+        let n_in = d.usize()?;
+        let window = d.usize()?;
+        if n_out != fab.n_out() || n_in != fab.n_in() || window != fab.cfg().llr_window {
+            return Err(SnapshotError::Malformed("LLR dimensions disagree"));
+        }
+        let rng = d.u64()?;
+        let ntx = d.len(nr * n_out, "LLR tx count")?;
+        if ntx != nr * n_out {
+            return Err(SnapshotError::Malformed("LLR tx count disagrees"));
+        }
+        let mut tx = Vec::with_capacity(ntx);
+        for _ in 0..ntx {
+            let next_seq = d.u32()?;
+            let n_entries = d.len(window, "LLR replay buffer overflows its window")?;
+            let mut entries = VecDeque::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let seq = d.u32()?;
+                let out_vc = d.u8()?;
+                let retries = d.u32()?;
+                let sent_at = d.u64()?;
+                let lost = d.u8()? != 0;
+                let pkt = decode_packet(d)?;
+                let crc = d.u32()?;
+                entries.push_back(LlrEntry {
+                    seq,
+                    out_vc,
+                    retries,
+                    sent_at,
+                    lost,
+                    pkt,
+                    crc,
+                });
+            }
+            let n_acks = d.len(SNAP_QUEUE_BOUND, "LLR ack queue")?;
+            let mut acks = VecDeque::with_capacity(n_acks);
+            for _ in 0..n_acks {
+                let at = d.u64()?;
+                let seq = d.u32()?;
+                let ok = d.u8()? != 0;
+                acks.push_back(AckEvent { at, seq, ok });
+            }
+            tx.push(TxLink {
+                next_seq,
+                entries,
+                acks,
+            });
+        }
+        let nrx = d.len(nr * n_in, "LLR rx count")?;
+        if nrx != nr * n_in {
+            return Err(SnapshotError::Malformed("LLR rx count disagrees"));
+        }
+        let mut rx = Vec::with_capacity(nrx);
+        for _ in 0..nrx {
+            let base = d.u32()?;
+            let mask = d.u64()?;
+            let n_wire = d.len(SNAP_QUEUE_BOUND, "LLR wire queue")?;
+            let mut wire = VecDeque::with_capacity(n_wire);
+            for _ in 0..n_wire {
+                let seq = d.u32()?;
+                let wire_crc = d.u32()?;
+                wire.push_back(WireMeta { seq, wire_crc });
+            }
+            rx.push(RxLink { base, mask, wire });
+        }
+        let n_retx = d.len(nr * n_out, "LLR retx counters")?;
+        if n_retx != nr * n_out {
+            return Err(SnapshotError::Malformed("LLR retx counter count disagrees"));
+        }
+        let mut retx_per_link = Vec::with_capacity(n_retx);
+        for _ in 0..n_retx {
+            retx_per_link.push(d.u64()?);
+        }
+        let n_ids = d.len(SNAP_QUEUE_BOUND, "LLR delivered-id bitmap")?;
+        let mut delivered_ids = Vec::with_capacity(n_ids);
+        for _ in 0..n_ids {
+            delivered_ids.push(d.u64()?);
+        }
+        Ok(Self {
+            n_out,
+            n_in,
+            tx,
+            rx,
+            window,
+            rng,
+            retx_per_link,
+            delivered_ids,
+        })
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected, bitwise) over `data`. Small and
 /// allocation-free; the simulator CRCs a few words per transfer, so a
 /// lookup table would be wasted cache.

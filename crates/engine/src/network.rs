@@ -1586,3 +1586,358 @@ impl<P: Policy> Network<P> {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint/restart (see crate::snapshot for the file format)
+// ---------------------------------------------------------------------
+
+use crate::snapshot::{self, decode_packet, encode_packet, Dec, Enc, SnapshotError};
+
+/// Decode-time cap on per-node source queues and the delivery log: far
+/// beyond any real run, far below an allocation bomb.
+const SNAP_QUEUE_BOUND: usize = 1 << 24;
+
+impl<P: Policy> Network<P> {
+    /// Serialize the complete live state into a self-describing snapshot
+    /// (see [`crate::snapshot`] for the format). Must be called at a
+    /// step boundary — between [`Self::step`] calls — where the
+    /// allocator's per-cycle scratch state is empty by construction.
+    ///
+    /// The returned bytes embed the configuration and mechanism name, so
+    /// [`crate::snapshot::peek_header`] plus [`Self::restore_snapshot`]
+    /// rebuild an identical network from the bytes alone. Restore is
+    /// bit-exact: the resumed run produces the same statistics and
+    /// delivery stream as an uninterrupted one.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let config = snapshot::encode_config(self.fab.cfg(), self.policy.name());
+        let mut policy = Vec::new();
+        self.policy.save_state(&mut policy);
+        let mut e = Enc::default();
+        self.encode_state(&mut e);
+        snapshot::frame(&config, &policy, &e.buf)
+    }
+
+    /// Restore a snapshot produced by [`Self::save_snapshot`] into this
+    /// network. The network must have been built with the same
+    /// configuration and mechanism (checked via the config fingerprint
+    /// before anything is touched). On any error the network is left
+    /// exactly as it was — decoding happens into temporaries and is
+    /// committed only once the whole file has validated.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let frame = snapshot::parse_frame(bytes)?;
+        let own_config = snapshot::encode_config(self.fab.cfg(), self.policy.name());
+        let expected = crate::llr::crc32(&own_config);
+        if frame.fingerprint != expected || frame.config != own_config.as_slice() {
+            // Name the more specific cause when only the mechanism
+            // differs under an otherwise identical configuration.
+            let (_, mech) = snapshot::decode_config(frame.config)?;
+            if mech != self.policy.name() {
+                return Err(SnapshotError::MechanismMismatch {
+                    expected: self.policy.name().to_string(),
+                    found: mech,
+                });
+            }
+            return Err(SnapshotError::ConfigMismatch {
+                expected,
+                found: frame.fingerprint,
+            });
+        }
+        let mut d = Dec::new(frame.state);
+        let decoded = self.decode_state(&mut d)?;
+        if !d.is_empty() {
+            return Err(SnapshotError::Malformed("trailing bytes in STATE"));
+        }
+        self.policy
+            .load_state(frame.policy)
+            .map_err(SnapshotError::Policy)?;
+        self.commit_state(decoded);
+        Ok(())
+    }
+
+    fn encode_state(&self, e: &mut Enc) {
+        e.u64(self.now);
+        e.u64(self.next_id);
+        e.u8(u8::from(self.faults_ever));
+        e.usize(self.plan_cursor);
+        self.plan.snap_encode(e);
+        self.faults.snap_encode(e);
+        for c in self.stats_counters() {
+            e.u64(c);
+        }
+        e.usize(self.src_q.len());
+        for q in &self.src_q {
+            e.usize(q.len());
+            for p in q {
+                encode_packet(e, p);
+            }
+        }
+        for &b in &self.inj_busy {
+            e.u64(b);
+        }
+        for &g in &self.router_last_grant {
+            e.u64(g);
+        }
+        match &self.delivered_log {
+            None => e.u8(0),
+            Some(log) => {
+                e.u8(1);
+                e.usize(log.len());
+                for &(at, lat) in log {
+                    e.u64(at);
+                    e.u32(lat);
+                }
+            }
+        }
+        match &self.link_phits {
+            None => e.u8(0),
+            Some(counts) => {
+                e.u8(1);
+                e.usize(counts.len());
+                for &c in counts {
+                    e.u64(c);
+                }
+            }
+        }
+        for store in &self.routers {
+            for input in &store.inputs {
+                for fifo in &input.vcs {
+                    e.usize(fifo.len());
+                    for p in fifo.iter() {
+                        encode_packet(e, p);
+                    }
+                }
+                e.usize(input.arrivals.len());
+                for &(at, vc, pkt) in &input.arrivals {
+                    e.u64(at);
+                    e.u8(vc);
+                    encode_packet(e, &pkt);
+                }
+                e.u64(input.busy_until);
+                for &t in &input.vc_served_at {
+                    e.u64(t);
+                }
+            }
+            for output in &store.outputs {
+                for &c in &output.credits {
+                    e.u32(c);
+                }
+                e.usize(output.credit_events.len());
+                for &(at, vc, phits) in &output.credit_events {
+                    e.u64(at);
+                    e.u8(vc);
+                    e.u32(phits);
+                }
+                e.u64(output.busy_until);
+                for &t in &output.in_served_at {
+                    e.u64(t);
+                }
+            }
+        }
+        match &self.llr {
+            None => e.u8(0),
+            Some(llr) => {
+                e.u8(1);
+                llr.snap_encode(e);
+            }
+        }
+    }
+
+    /// Decode the STATE section into temporaries without touching
+    /// `self`; [`Self::commit_state`] applies them only after the whole
+    /// section validated.
+    fn decode_state(&self, d: &mut Dec<'_>) -> Result<DecodedState, SnapshotError> {
+        let malformed = |what| Err(SnapshotError::Malformed(what));
+        let now = d.u64()?;
+        let next_id = d.u64()?;
+        let faults_ever = d.u8()? != 0;
+        let plan_cursor = d.usize()?;
+        let plan = FaultPlan::snap_decode(d)?;
+        if plan_cursor > plan.events().len() {
+            return malformed("plan cursor past the end of the plan");
+        }
+        let faults = FaultState::snap_decode(d, &self.fab)?;
+        let mut stats = Stats::default();
+        let mut counters = [0u64; STATS_COUNTERS];
+        for c in &mut counters {
+            *c = d.u64()?;
+        }
+        stats.set_counters(&counters);
+        let nodes = self.src_q.len();
+        if d.len(nodes, "source-queue count")? != nodes {
+            return malformed("source-queue count disagrees");
+        }
+        let mut src_q = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let n = d.len(SNAP_QUEUE_BOUND, "source queue size")?;
+            let mut q = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                q.push_back(decode_packet(d)?);
+            }
+            src_q.push(q);
+        }
+        let mut inj_busy = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            inj_busy.push(d.u64()?);
+        }
+        let nr = self.routers.len();
+        let mut router_last_grant = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            router_last_grant.push(d.u64()?);
+        }
+        let delivered_log = match d.u8()? {
+            0 => None,
+            1 => {
+                let n = d.len(SNAP_QUEUE_BOUND, "delivery log size")?;
+                let mut log = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let at = d.u64()?;
+                    let lat = d.u32()?;
+                    log.push((at, lat));
+                }
+                Some(log)
+            }
+            _ => return malformed("bad Option tag for delivery log"),
+        };
+        let link_phits = match d.u8()? {
+            0 => None,
+            1 => {
+                let want = nr * self.fab.n_out();
+                if d.len(want, "link phit counter count")? != want {
+                    return malformed("link phit counter count disagrees");
+                }
+                let mut counts = Vec::with_capacity(want);
+                for _ in 0..want {
+                    counts.push(d.u64()?);
+                }
+                Some(counts)
+            }
+            _ => return malformed("bad Option tag for link counters"),
+        };
+        let size = self.fab.cfg().packet_size as u32;
+        let mut routers = Vec::with_capacity(nr);
+        for r in 0..nr {
+            let mut store = RouterStore::new(&self.fab, RouterId::from(r));
+            for input in &mut store.inputs {
+                for fifo in &mut input.vcs {
+                    let n = d.len(SNAP_QUEUE_BOUND, "VC buffer size")?;
+                    for _ in 0..n {
+                        let pkt = decode_packet(d)?;
+                        if !fifo.fits(size) {
+                            return malformed("VC buffer overflows its capacity");
+                        }
+                        fifo.push(pkt, size);
+                    }
+                }
+                let n = d.len(SNAP_QUEUE_BOUND, "arrival pipeline size")?;
+                for _ in 0..n {
+                    let at = d.u64()?;
+                    let vc = d.u8()?;
+                    let pkt = decode_packet(d)?;
+                    if vc as usize >= input.vcs.len() {
+                        return malformed("arrival targets a VC out of range");
+                    }
+                    input.arrivals.push_back((at, vc, pkt));
+                }
+                input.busy_until = d.u64()?;
+                for t in &mut input.vc_served_at {
+                    *t = d.u64()?;
+                }
+            }
+            for output in &mut store.outputs {
+                for vc in 0..output.credits.len() {
+                    let c = d.u32()?;
+                    if c > output.capacity[vc] {
+                        return malformed("credits exceed downstream capacity");
+                    }
+                    output.credits[vc] = c;
+                }
+                let n = d.len(SNAP_QUEUE_BOUND, "credit pipeline size")?;
+                for _ in 0..n {
+                    let at = d.u64()?;
+                    let vc = d.u8()?;
+                    let phits = d.u32()?;
+                    if vc as usize >= output.capacity.len() {
+                        return malformed("credit event targets a VC out of range");
+                    }
+                    output.credit_events.push_back((at, vc, phits));
+                }
+                output.busy_until = d.u64()?;
+                for t in &mut output.in_served_at {
+                    *t = d.u64()?;
+                }
+            }
+            routers.push(store);
+        }
+        let llr = match d.u8()? {
+            0 => None,
+            1 => Some(Llr::snap_decode(d, &self.fab)?),
+            _ => return malformed("bad Option tag for LLR"),
+        };
+        Ok(DecodedState {
+            now,
+            next_id,
+            faults_ever,
+            plan_cursor,
+            plan,
+            faults,
+            stats,
+            src_q,
+            inj_busy,
+            router_last_grant,
+            delivered_log,
+            link_phits,
+            routers,
+            llr,
+        })
+    }
+
+    fn commit_state(&mut self, s: DecodedState) {
+        self.now = s.now;
+        self.next_id = s.next_id;
+        self.faults_ever = s.faults_ever;
+        self.plan_cursor = s.plan_cursor;
+        self.plan = s.plan;
+        self.faults = s.faults;
+        self.stats = s.stats;
+        self.src_q = s.src_q;
+        self.inj_busy = s.inj_busy;
+        self.router_last_grant = s.router_last_grant;
+        self.delivered_log = s.delivered_log;
+        self.link_phits = s.link_phits;
+        self.routers = s.routers;
+        self.llr = s.llr;
+        // Per-cycle scratch is empty at every step boundary; clear it so
+        // a restore into a mid-turn network cannot leak stale requests.
+        self.effects.clear();
+        self.reqs.clear();
+        self.grants.clear();
+    }
+
+    /// The engine counters as a fixed-order array (the STATE section's
+    /// stats layout; order is part of the format).
+    fn stats_counters(&self) -> [u64; STATS_COUNTERS] {
+        self.stats.counters()
+    }
+}
+
+/// Number of `u64` counters in [`Stats`] (format constant).
+const STATS_COUNTERS: usize = crate::stats::STATS_COUNTERS;
+
+/// Fully decoded STATE section, held apart from the network until the
+/// whole snapshot has validated.
+struct DecodedState {
+    now: u64,
+    next_id: u64,
+    faults_ever: bool,
+    plan_cursor: usize,
+    plan: FaultPlan,
+    faults: FaultState,
+    stats: Stats,
+    src_q: Vec<VecDeque<Packet>>,
+    inj_busy: Vec<u64>,
+    router_last_grant: Vec<u64>,
+    delivered_log: Option<Vec<(u64, u32)>>,
+    link_phits: Option<Vec<u64>>,
+    routers: Vec<RouterStore>,
+    llr: Option<Llr>,
+}

@@ -54,16 +54,19 @@ pub struct Packet {
 }
 
 impl Packet {
+    /// Whether `flag` (one of the `FLAG_*` bits) is set.
     #[inline]
     pub fn has(&self, flag: u8) -> bool {
         self.flags & flag != 0
     }
 
+    /// Set `flag` (one of the `FLAG_*` bits).
     #[inline]
     pub fn set(&mut self, flag: u8) {
         self.flags |= flag;
     }
 
+    /// Clear `flag` (one of the `FLAG_*` bits).
     #[inline]
     pub fn clear(&mut self, flag: u8) {
         self.flags &= !flag;

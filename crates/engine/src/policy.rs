@@ -274,4 +274,28 @@ pub trait Policy {
     fn needs_ring(&self) -> bool {
         false
     }
+
+    /// Serialize mechanism-internal dynamic state (RNG streams,
+    /// congestion tables, patience counters) for a checkpoint. The
+    /// engine owns framing and checksums; implementations just append
+    /// raw little-endian bytes. Default: stateless, writes nothing.
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restore state captured by [`Policy::save_state`]. Must fail
+    /// closed (an `Err`, never a panic) on bytes it does not recognize;
+    /// on success the policy's future decision stream is bit-identical
+    /// to the one it would have produced without the round-trip.
+    /// Default: accepts only the empty state a stateless
+    /// [`Policy::save_state`] writes.
+    fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
+        if data.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} carries no serializable state but the snapshot has {} bytes of it",
+                self.name(),
+                data.len()
+            ))
+        }
+    }
 }

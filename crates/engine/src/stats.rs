@@ -82,7 +82,77 @@ impl Stats {
             self.hop_sum as f64 / self.delivered_packets as f64
         }
     }
+
+    /// All counters as a fixed-order array — the checkpoint codec's
+    /// stats layout. The order (field declaration order) is part of the
+    /// snapshot format: append new counters at the end and bump
+    /// [`crate::snapshot::SNAPSHOT_VERSION`].
+    pub fn counters(&self) -> [u64; STATS_COUNTERS] {
+        [
+            self.generated_packets,
+            self.injected_packets,
+            self.delivered_packets,
+            self.delivered_phits,
+            self.latency_sum,
+            self.hop_sum,
+            self.local_misroutes,
+            self.global_misroutes,
+            self.ring_entries,
+            self.ring_advances,
+            self.ring_exits,
+            self.ring_deliveries,
+            self.last_delivery,
+            self.last_grant,
+            self.link_failures,
+            self.link_repairs,
+            self.router_failures,
+            self.router_repairs,
+            self.llr_retransmits,
+            self.llr_wire_drops,
+            self.llr_crc_drops,
+            self.llr_dup_drops,
+            self.llr_nacks,
+            self.llr_timeouts,
+            self.llr_escalations,
+            self.duplicate_deliveries,
+        ]
+    }
+
+    /// Inverse of [`Stats::counters`].
+    pub fn set_counters(&mut self, c: &[u64; STATS_COUNTERS]) {
+        [
+            self.generated_packets,
+            self.injected_packets,
+            self.delivered_packets,
+            self.delivered_phits,
+            self.latency_sum,
+            self.hop_sum,
+            self.local_misroutes,
+            self.global_misroutes,
+            self.ring_entries,
+            self.ring_advances,
+            self.ring_exits,
+            self.ring_deliveries,
+            self.last_delivery,
+            self.last_grant,
+            self.link_failures,
+            self.link_repairs,
+            self.router_failures,
+            self.router_repairs,
+            self.llr_retransmits,
+            self.llr_wire_drops,
+            self.llr_crc_drops,
+            self.llr_dup_drops,
+            self.llr_nacks,
+            self.llr_timeouts,
+            self.llr_escalations,
+            self.duplicate_deliveries,
+        ] = *c;
+    }
 }
+
+/// Number of `u64` counters in [`Stats`] (a snapshot format constant).
+pub const STATS_COUNTERS: usize = 26;
 
 /// A measurement window: the delta of two [`Stats`] snapshots plus the
 /// elapsed cycles, exposing the paper's metrics.

@@ -28,6 +28,7 @@ pub mod ofar;
 pub mod par;
 pub mod pb;
 pub mod probe;
+pub(crate) mod state;
 pub mod valiant;
 
 pub use common::VcLadder;

@@ -43,6 +43,20 @@ impl MechanismKind {
         }
     }
 
+    /// Inverse of [`MechanismKind::name`] — used to rebuild a mechanism
+    /// from a self-describing snapshot file.
+    pub fn from_name(name: &str) -> Option<MechanismKind> {
+        Some(match name {
+            "MIN" => MechanismKind::Min,
+            "VAL" => MechanismKind::Valiant,
+            "PB" => MechanismKind::Pb,
+            "PAR" => MechanismKind::Par,
+            "OFAR" => MechanismKind::Ofar,
+            "OFAR-L" => MechanismKind::OfarL,
+            _ => return None,
+        })
+    }
+
     /// Whether the mechanism needs an escape ring to avoid deadlock.
     pub fn needs_ring(self) -> bool {
         matches!(self, MechanismKind::Ofar | MechanismKind::OfarL)
@@ -179,6 +193,32 @@ impl Policy for Mechanism {
 
     fn needs_ring(&self) -> bool {
         matches!(self, Mechanism::Ofar(_))
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        match self {
+            Mechanism::Min(_) => {} // stateless
+            Mechanism::Valiant(p) => p.save_state(out),
+            Mechanism::Pb(p) => p.save_state(out),
+            Mechanism::Par(p) => p.save_state(out),
+            Mechanism::Ofar(p) => p.save_state(out),
+        }
+    }
+
+    fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
+        match self {
+            Mechanism::Min(_) => {
+                if data.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!("MIN is stateless but got {} bytes", data.len()))
+                }
+            }
+            Mechanism::Valiant(p) => p.load_state(data),
+            Mechanism::Pb(p) => p.load_state(data),
+            Mechanism::Par(p) => p.load_state(data),
+            Mechanism::Ofar(p) => p.load_state(data),
+        }
     }
 }
 

@@ -502,6 +502,21 @@ impl Policy for OfarPolicy {
 
 crate::probe::impl_enumerable_via_probe!(OfarPolicy);
 
+impl OfarPolicy {
+    /// Checkpoint hook: OFAR's only policy-side dynamic state is its
+    /// tie-break RNG — the ring-patience counter travels in each packet
+    /// header (`wait`), so it rides the engine's own sections.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        crate::state::put_rng(out, &self.rng);
+    }
+
+    /// Restore the RNG stream captured by [`OfarPolicy::save_state`].
+    pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
+        self.rng = crate::state::rng_only(data, "OFAR")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

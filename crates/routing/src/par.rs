@@ -180,6 +180,19 @@ pub fn par_config(mut cfg: SimConfig) -> SimConfig {
     cfg
 }
 
+impl ParPolicy {
+    /// Checkpoint hook: PAR's only dynamic state is its tie-break RNG.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        crate::state::put_rng(out, &self.rng);
+    }
+
+    /// Restore the RNG stream captured by [`ParPolicy::save_state`].
+    pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
+        self.rng = crate::state::rng_only(data, "PAR")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

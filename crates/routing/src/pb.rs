@@ -187,6 +187,52 @@ impl Policy for PbPolicy {
 
 crate::probe::impl_enumerable_via_probe!(PbPolicy);
 
+impl PbPolicy {
+    /// Checkpoint hook: PB carries real cross-cycle state — the
+    /// broadcast-visible occupancy table updated every cycle by
+    /// `end_cycle` — plus its tie-break RNG. Both must round-trip for a
+    /// restored run to take bit-identical decisions.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        crate::state::put_rng(out, &self.rng);
+        out.extend_from_slice(&(self.visible.len() as u32).to_le_bytes());
+        for &v in &self.visible {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Restore the state captured by [`PbPolicy::save_state`].
+    pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
+        let (rng, rest) = crate::state::take_rng(data, "PB")?;
+        if rest.len() < 4 {
+            return Err("PB: truncated visibility table header".into());
+        }
+        let (head, body) = rest.split_at(4);
+        let n = u32::from_le_bytes(head.try_into().unwrap()) as usize;
+        if n != self.visible.len() {
+            return Err(format!(
+                "PB: visibility table has {n} entries, this network needs {}",
+                self.visible.len()
+            ));
+        }
+        if body.len() != n * 4 {
+            return Err(format!(
+                "PB: visibility table body is {} bytes, expected {}",
+                body.len(),
+                n * 4
+            ));
+        }
+        let mut visible = Vec::with_capacity(n);
+        for chunk in body.chunks_exact(4) {
+            visible.push(f32::from_bits(u32::from_le_bytes(
+                chunk.try_into().unwrap(),
+            )));
+        }
+        self.rng = rng;
+        self.visible = visible;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

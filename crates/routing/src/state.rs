@@ -1,0 +1,38 @@
+//! Little-endian helpers for the mechanisms' checkpoint state
+//! ([`ofar_engine::Policy::save_state`] / `load_state`).
+//!
+//! The engine owns framing and checksums; a mechanism only appends its
+//! raw dynamic state — typically one xoshiro256** stream, plus for PB
+//! the broadcast-visible occupancy table. Decoding fails closed with a
+//! descriptive `Err` on any length or layout mismatch.
+
+use rand::rngs::SmallRng;
+
+/// Append one RNG's 256-bit state.
+pub(crate) fn put_rng(out: &mut Vec<u8>, rng: &SmallRng) {
+    for word in rng.state() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+}
+
+/// Read one RNG state from the front of `data`, returning the rest.
+pub(crate) fn take_rng<'a>(data: &'a [u8], who: &str) -> Result<(SmallRng, &'a [u8]), String> {
+    if data.len() < 32 {
+        return Err(format!("{who}: truncated RNG state ({} bytes)", data.len()));
+    }
+    let (raw, rest) = data.split_at(32);
+    let mut s = [0u64; 4];
+    for (i, word) in s.iter_mut().enumerate() {
+        *word = u64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().unwrap());
+    }
+    Ok((SmallRng::from_state(s), rest))
+}
+
+/// The whole state is one RNG: decode it and require nothing follows.
+pub(crate) fn rng_only(data: &[u8], who: &str) -> Result<SmallRng, String> {
+    let (rng, rest) = take_rng(data, who)?;
+    if !rest.is_empty() {
+        return Err(format!("{who}: {} trailing bytes of state", rest.len()));
+    }
+    Ok(rng)
+}

@@ -117,6 +117,21 @@ impl Policy for ValiantPolicy {
 
 crate::probe::impl_enumerable_via_probe!(ValiantPolicy);
 
+impl ValiantPolicy {
+    /// Checkpoint hook: VAL's only dynamic state is the
+    /// intermediate-group RNG (chosen intermediates ride in the packet
+    /// headers themselves).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        crate::state::put_rng(out, &self.rng);
+    }
+
+    /// Restore the RNG stream captured by [`ValiantPolicy::save_state`].
+    pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
+        self.rng = crate::state::rng_only(data, "VAL")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

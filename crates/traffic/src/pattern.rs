@@ -147,6 +147,17 @@ impl TrafficGen {
         &self.spec
     }
 
+    /// Raw RNG state, for checkpointing the generator mid-run.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore an RNG state captured by [`TrafficGen::rng_state`]; the
+    /// destination stream resumes exactly where it left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = SmallRng::from_state(state);
+    }
+
     /// Sample a destination for a packet from `src`.
     pub fn destination(&mut self, src: NodeId) -> NodeId {
         let pattern = self.sample_pattern();
@@ -213,6 +224,17 @@ impl Bernoulli {
     /// Packet-generation probability per node per cycle.
     pub fn prob(&self) -> f64 {
         self.prob
+    }
+
+    /// Raw RNG state, for checkpointing the injection process mid-run.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore an RNG state captured by [`Bernoulli::rng_state`]; the
+    /// injection stream resumes exactly where it left off.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = SmallRng::from_state(state);
     }
 
     /// Run one cycle: calls `sink(src)` for every node that generates a

@@ -15,6 +15,9 @@
 //!   --ber <f>             per-phit link bit-error rate        [0]
 //!   --burst <pkts/node>   burst mode instead of steady state
 //!   --conformance         run the routing-conformance checker and exit
+//!   --replay <snapshot>   restore a snapshot (e.g. a post-mortem stall
+//!                         dump) and trace its final cycles
+//!   --cycles <n>          cycles to replay                     [2000]
 //! ```
 //!
 //! A nonzero `--ber` enables the link-level retransmission layer
@@ -53,7 +56,7 @@ fn main() {
             include_str!("ofar-sim.rs")
                 .lines()
                 .skip(2)
-                .take(16)
+                .take(19)
                 .map(|l| l.trim_start_matches("//! "))
                 .collect::<Vec<_>>()
                 .join("\n")
@@ -61,6 +64,45 @@ fn main() {
         return;
     }
     let args = Args(argv);
+
+    if let Some(path) = args.get("--replay") {
+        let cycles: u64 = args.parse("--cycles", 2_000);
+        let rep = match replay_snapshot(std::path::Path::new(path), cycles) {
+            Ok(rep) => rep,
+            Err(e) => {
+                eprintln!("cannot replay {path}: {e}");
+                exit(1);
+            }
+        };
+        eprintln!(
+            "{} snapshot taken at cycle {}; replaying up to {cycles} cycles",
+            rep.mechanism, rep.start_cycle
+        );
+        for t in &rep.trace {
+            println!(
+                "cycle {:>8}  delivered {:>3}  retx {:>3}  granted {}  in-flight {}",
+                t.cycle,
+                t.delivered,
+                t.retransmits,
+                if t.granted { "yes" } else { " no" },
+                t.in_flight
+            );
+        }
+        println!(
+            "replay ended at cycle {} ({}; {} delivered total)",
+            rep.end_cycle,
+            if rep.drained {
+                "drained"
+            } else {
+                "still stuck"
+            },
+            rep.stats.delivered_packets
+        );
+        if let Some(audit) = &rep.audit {
+            println!("audit: {audit}");
+        }
+        return;
+    }
 
     let kind = match args.get("--mech").unwrap_or("OFAR") {
         "MIN" => MechanismKind::Min,

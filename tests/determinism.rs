@@ -122,3 +122,95 @@ fn runner_points_are_reproducible() {
     assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
     assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
 }
+
+#[test]
+fn snapshot_restore_is_invisible_to_signatures() {
+    // A save/restore round-trip in the middle of a run must not perturb
+    // the history: restoring into a fresh network and continuing yields
+    // the same signature as never having snapshotted. The split lands
+    // mid-retransmit-window (nonzero BER) and mid-fault-flap.
+    let kind = MechanismKind::Ofar;
+    let seed = 31;
+    let mut cfg = SimConfig::paper(2).with_seed(seed);
+    cfg.ber = 2e-5;
+    let cfg = kind.adapt_config(cfg);
+    let topo = Dragonfly::new(cfg.params);
+    let r0 = RouterId::new(0);
+    let plan = || {
+        FaultPlan::random_global_failures(&topo, 2, 450, 0xFA2).transient_link(
+            300,
+            900,
+            r0,
+            topo.global_neighbor(r0, 0).0,
+        )
+    };
+    let drive = |net: &mut Network<Mechanism>, gen: &mut TrafficGen, bern: &mut Bernoulli, n| {
+        let nodes = net.num_nodes();
+        for _ in 0..n {
+            bern.cycle(nodes, |src| {
+                let dst = gen.destination(src);
+                net.generate(src, dst);
+            });
+            net.step();
+        }
+    };
+
+    // Uninterrupted reference.
+    let mut net = Network::new(cfg, kind.build(&cfg, seed));
+    net.set_fault_plan(plan());
+    let mut gen = TrafficGen::new(&topo, TrafficSpec::mix2(2), seed + 1);
+    let mut bern = Bernoulli::new(0.4, cfg.packet_size, seed + 2);
+    drive(&mut net, &mut gen, &mut bern, 2_000);
+    let want = net.stats().counters();
+
+    // Same run, interrupted at cycle 600 (inside the 300..900 flap).
+    let mut net_a = Network::new(cfg, kind.build(&cfg, seed));
+    net_a.set_fault_plan(plan());
+    let mut gen_a = TrafficGen::new(&topo, TrafficSpec::mix2(2), seed + 1);
+    let mut bern_a = Bernoulli::new(0.4, cfg.packet_size, seed + 2);
+    drive(&mut net_a, &mut gen_a, &mut bern_a, 600);
+    let snap = net_a.save_snapshot();
+
+    let mut net_b = Network::new(cfg, kind.build(&cfg, seed));
+    net_b.restore_snapshot(&snap).expect("restore");
+    let mut gen_b = TrafficGen::new(&topo, TrafficSpec::mix2(2), 0);
+    gen_b.set_rng_state(gen_a.rng_state());
+    let mut bern_b = Bernoulli::new(0.4, cfg.packet_size, 0);
+    bern_b.set_rng_state(bern_a.rng_state());
+    drive(&mut net_b, &mut gen_b, &mut bern_b, 1_400);
+    assert_eq!(
+        want,
+        net_b.stats().counters(),
+        "restore changed the history"
+    );
+}
+
+#[test]
+fn checkpointed_steady_state_resumes_to_identical_results() {
+    // Run once with periodic checkpoints, then again against the same
+    // directory: the second run resumes from the newest checkpoint and
+    // must produce the bit-identical SteadyPoint of an uncheckpointed
+    // run. (This is the in-process version of the CI kill-and-resume
+    // smoke job.)
+    let dir = std::env::temp_dir().join(format!("ofar-ckpt-test-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = SimConfig::paper(2);
+    let kind = MechanismKind::Ofar;
+    let spec = TrafficSpec::adversarial(2);
+    let opts = SteadyOpts {
+        warmup: 800,
+        measure: 1_200,
+    };
+    let plain = steady_state(cfg, kind, &spec, 0.25, opts, 11);
+    let ckpt = CheckpointPolicy::every(500, &dir);
+    let first = steady_state_checkpointed(cfg, kind, &spec, 0.25, opts, 11, &ckpt);
+    assert_eq!(plain, first, "checkpointing perturbed the run");
+    let n_files = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert!(n_files > 0, "no checkpoint files were written");
+    let resumed = steady_state_checkpointed(cfg, kind, &spec, 0.25, opts, 11, &ckpt);
+    assert_eq!(
+        plain, resumed,
+        "resumed run diverged from uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,227 @@
+//! Snapshot/restart correctness: restoring a snapshot is *bit-exact*
+//! (run N+M cycles ≡ run N, snapshot, restore into a fresh process
+//! image, run M — identical counters and delivery streams, for every
+//! mechanism, under faults and link errors), and every corrupted file is
+//! refused with a typed error, without panicking and without touching
+//! the network it was offered to.
+
+use ofar::engine::crc32;
+use ofar::prelude::*;
+use proptest::prelude::*;
+
+const H: usize = 2;
+
+/// A run harness with fault flaps and a lossy link, exercising every
+/// stateful subsystem a snapshot must carry: VC buffers, credits, link
+/// pipelines, LLR replay buffers, fault state, policy and traffic RNGs.
+struct Harness {
+    net: Network<Mechanism>,
+    gen: TrafficGen,
+    bern: Bernoulli,
+}
+
+impl Harness {
+    fn new(kind: MechanismKind, seed: u64, ber: f64, faults: bool) -> Self {
+        let mut cfg = SimConfig::paper(H).with_seed(seed);
+        cfg.ber = ber;
+        let cfg = kind.adapt_config(cfg);
+        let mut net = Network::new(cfg, kind.build(&cfg, seed));
+        net.enable_delivery_log();
+        let topo = Dragonfly::new(cfg.params);
+        if faults {
+            let r0 = RouterId::new(0);
+            let plan = FaultPlan::random_global_failures(&topo, 2, 450, 0xFA1).transient_link(
+                300,
+                900,
+                r0,
+                topo.global_neighbor(r0, 0).0,
+            );
+            net.set_fault_plan(plan);
+        }
+        let gen = TrafficGen::new(&topo, TrafficSpec::mix2(H), seed + 1);
+        let bern = Bernoulli::new(0.3, cfg.packet_size, seed + 2);
+        Self { net, gen, bern }
+    }
+
+    fn drive(&mut self, cycles: u64) {
+        let nodes = self.net.num_nodes();
+        for _ in 0..cycles {
+            let gen = &mut self.gen;
+            let net = &mut self.net;
+            self.bern.cycle(nodes, |src| {
+                let dst = gen.destination(src);
+                net.generate(src, dst);
+            });
+            net.step();
+        }
+    }
+
+    /// Full observable history: every engine counter plus the exact
+    /// delivery stream.
+    fn signature(&mut self) -> (Vec<u64>, Vec<(u64, u32)>) {
+        (
+            self.net.stats().counters().to_vec(),
+            self.net.take_delivery_log(),
+        )
+    }
+}
+
+/// run(n + m) ≡ run(n) → snapshot → restore into a fresh network → run(m).
+fn assert_resume_bit_exact(kind: MechanismKind, seed: u64, n: u64, m: u64, ber: f64) {
+    // The uninterrupted reference.
+    let mut reference = Harness::new(kind, seed, ber, true);
+    reference.drive(n + m);
+    let want = reference.signature();
+
+    // The interrupted run: snapshot at n...
+    let mut first = Harness::new(kind, seed, ber, true);
+    first.drive(n);
+    let bytes = first.net.save_snapshot();
+
+    // ...restored into a *fresh* network (no shared state with `first`),
+    // with the traffic RNG streams carried over exactly as the
+    // checkpoint layer does.
+    let mut resumed = Harness::new(kind, seed, ber, false);
+    resumed
+        .net
+        .restore_snapshot(&bytes)
+        .unwrap_or_else(|e| panic!("{kind}: restore failed: {e}"));
+    resumed.gen.set_rng_state(first.gen.rng_state());
+    resumed.bern.set_rng_state(first.bern.rng_state());
+    assert_eq!(resumed.net.now(), n, "{kind}: clock not restored");
+    resumed.drive(m);
+    let got = resumed.signature();
+
+    assert_eq!(want.0, got.0, "{kind}: counters diverge after resume");
+    assert_eq!(
+        want.1, got.1,
+        "{kind}: delivery stream diverges after resume"
+    );
+}
+
+#[test]
+fn resume_is_bit_exact_for_every_mechanism() {
+    for kind in MechanismKind::paper_set() {
+        // n = 600 lands mid-flap (transient link down 300..900) with a
+        // nonzero BER, so the snapshot carries a degraded fault state
+        // and in-flight LLR replay buffers.
+        assert_resume_bit_exact(kind, 17, 600, 700, 2e-5);
+    }
+}
+
+#[test]
+fn resume_is_bit_exact_for_par() {
+    // PAR is outside paper_set() but carries its own RNG.
+    assert_resume_bit_exact(MechanismKind::Par, 23, 500, 500, 2e-5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The split point must not matter: any prefix length n, any
+    /// continuation m, any seed.
+    #[test]
+    fn resume_is_bit_exact_at_any_split(
+        seed in 1u64..1_000,
+        n in 50u64..900,
+        m in 50u64..400,
+    ) {
+        assert_resume_bit_exact(MechanismKind::Ofar, seed, n, m, 2e-5);
+    }
+
+    /// Any single corrupted byte is detected: restore returns a typed
+    /// error (no panic) and leaves the target network untouched, proven
+    /// by running it on and comparing against an undisturbed twin.
+    #[test]
+    fn corrupted_byte_is_rejected_and_leaves_network_intact(
+        seed in 1u64..100,
+        pos_sel in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut h = Harness::new(MechanismKind::Ofar, seed, 2e-5, true);
+        h.drive(400);
+        let mut bytes = h.net.save_snapshot();
+        let pos = pos_sel % bytes.len();
+        bytes[pos] ^= 1 << bit;
+
+        let mut victim = Harness::new(MechanismKind::Ofar, seed, 2e-5, true);
+        victim.drive(100);
+        let mut twin = Harness::new(MechanismKind::Ofar, seed, 2e-5, true);
+        twin.drive(100);
+
+        let err = victim.net.restore_snapshot(&bytes);
+        prop_assert!(err.is_err(), "flip of byte {pos} bit {bit} accepted");
+        victim.drive(300);
+        twin.drive(300);
+        prop_assert_eq!(victim.signature(), twin.signature(),
+            "failed restore perturbed the network");
+    }
+}
+
+#[test]
+fn truncation_is_rejected_at_every_length() {
+    let mut h = Harness::new(MechanismKind::Ofar, 5, 0.0, false);
+    h.drive(200);
+    let bytes = h.net.save_snapshot();
+    let mut victim = Harness::new(MechanismKind::Ofar, 5, 0.0, false);
+    for cut in 0..bytes.len() {
+        assert!(
+            victim.net.restore_snapshot(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes accepted"
+        );
+    }
+}
+
+#[test]
+fn future_format_version_is_refused() {
+    let mut h = Harness::new(MechanismKind::Min, 5, 0.0, false);
+    h.drive(100);
+    let mut bytes = h.net.save_snapshot();
+    // Bump the version field (bytes 8..12, after the magic) and patch the
+    // whole-file checksum so only the version is wrong.
+    let v = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    bytes[8..12].copy_from_slice(&(v + 1).to_le_bytes());
+    let body = bytes.len() - 4;
+    let fixed = crc32(&bytes[..body]);
+    bytes[body..].copy_from_slice(&fixed.to_le_bytes());
+    match h.net.restore_snapshot(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found }) => assert_eq!(found, v + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn config_mismatch_is_refused() {
+    let mut h = Harness::new(MechanismKind::Ofar, 5, 0.0, false);
+    h.drive(100);
+    let bytes = h.net.save_snapshot();
+    // Same mechanism, different seed — the config fingerprint differs.
+    let mut other = Harness::new(MechanismKind::Ofar, 6, 0.0, false);
+    match other.net.restore_snapshot(&bytes) {
+        Err(SnapshotError::ConfigMismatch { .. }) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn mechanism_mismatch_is_refused() {
+    // VAL and PB adapt SimConfig identically (no ring, same VCs), so the
+    // only difference is the mechanism itself.
+    let mut h = Harness::new(MechanismKind::Valiant, 5, 0.0, false);
+    h.drive(100);
+    let bytes = h.net.save_snapshot();
+    let mut other = Harness::new(MechanismKind::Pb, 5, 0.0, false);
+    match other.net.restore_snapshot(&bytes) {
+        Err(SnapshotError::MechanismMismatch { .. }) => {}
+        other => panic!("expected MechanismMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_and_empty_files_are_refused() {
+    let mut h = Harness::new(MechanismKind::Min, 5, 0.0, false);
+    assert!(h.net.restore_snapshot(&[]).is_err());
+    assert!(h.net.restore_snapshot(b"not a snapshot at all").is_err());
+    let zeros = vec![0u8; 4096];
+    assert!(h.net.restore_snapshot(&zeros).is_err());
+}
