@@ -1,0 +1,14 @@
+// D005 fixture: floating-point accumulation into deterministic state.
+// Integer accumulation on the same struct must stay silent.
+
+struct Gauge {
+    mean_latency: f64,
+    samples: u64,
+}
+
+impl Gauge {
+    fn record(&mut self, lat: f64) {
+        self.mean_latency += lat; // lint:expect(D005)
+        self.samples += 1;
+    }
+}

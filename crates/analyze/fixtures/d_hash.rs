@@ -1,0 +1,13 @@
+// D001 fixture: order-sensitive hash containers in a deterministic-core
+// crate. Every HashMap/HashSet mention must fire, one finding per line.
+
+use std::collections::HashMap; // lint:expect(D001)
+use std::collections::HashSet; // lint:expect(D001)
+
+struct Table {
+    map: HashMap<u32, u32>, // lint:expect(D001)
+}
+
+fn build() -> HashSet<u32> { // lint:expect(D001)
+    HashSet::new() // lint:expect(D001)
+}

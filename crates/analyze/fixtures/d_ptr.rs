@@ -1,0 +1,11 @@
+// D004 fixture: pointer values used as data in the deterministic core.
+
+fn router_key(r: &Router) -> usize {
+    let p = r as *const Router; // lint:expect(D004)
+    p as usize
+}
+
+fn stable_id(x: &u32) -> usize {
+    let q = addr_of!(*x); // lint:expect(D004)
+    q as usize
+}

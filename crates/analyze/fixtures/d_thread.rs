@@ -1,0 +1,10 @@
+// D003 fixture: thread identity / thread-local RNG in the
+// deterministic core.
+
+fn entropy() -> u64 {
+    let r = thread_rng(); // lint:expect(D003)
+    let _ = r;
+    let id = std::thread::current(); // lint:expect(D003)
+    let _ = id;
+    0
+}

@@ -1,0 +1,12 @@
+// D002 fixture: wall-clock time sources in the deterministic core.
+
+fn cycle_now() -> u64 {
+    let t = std::time::SystemTime::now(); // lint:expect(D002)
+    let _ = t;
+    0
+}
+
+fn measure() {
+    let started = Instant::now(); // lint:expect(D002)
+    let _ = started;
+}

@@ -1,0 +1,11 @@
+// P003 fixture: panicking indexing inside the conservation counters.
+
+struct Stats {
+    slots: Vec<u64>,
+}
+
+impl Stats {
+    fn read(&self, i: usize) -> u64 {
+        self.slots[i] // lint:expect(P003)
+    }
+}

@@ -1,0 +1,15 @@
+// S001 fixture: the codec visits credits and inflight but not
+// last_eject — the seeded missing-field mutant CI must catch.
+
+struct LinkState {
+    credits: u32,
+    inflight: u32,
+    last_eject: u32, // lint:expect(S001)
+}
+
+impl LinkState {
+    fn snap_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.credits.to_le_bytes());
+        out.extend_from_slice(&self.inflight.to_le_bytes());
+    }
+}

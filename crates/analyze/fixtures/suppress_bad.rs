@@ -1,0 +1,7 @@
+// A-rule fixture: the suppression machinery polices itself.
+// A reason-less allow is malformed (A001) and does NOT suppress; a
+// well-formed allow that claims nothing is unused (A002).
+
+fn nothing() {} // lint:allow(D001) lint:expect(A001)
+
+fn empty() {} // lint:allow(H001, reason present but nothing fires here) lint:expect(A002)

@@ -1,0 +1,227 @@
+//! The checked-in findings baseline.
+//!
+//! Findings the team has accepted live in `lint-baseline.json` at the
+//! workspace root. Entries are matched by `(rule, file, snippet)` — the
+//! snippet (trimmed source line) rather than the line number, so
+//! unrelated edits above a finding don't invalidate the baseline. Every
+//! entry carries a mandatory reason; entries that match no current
+//! finding are themselves reported ([`rules::RULE_STALE_BASELINE`]) so
+//! the baseline can only shrink.
+
+use crate::json::{self, Value};
+use crate::rules::{self, Finding, Suppression};
+
+/// One accepted finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Trimmed source line the finding anchors to.
+    pub snippet: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Accepted findings.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parse the baseline JSON document.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let v = json::parse(src)?;
+        if v.get("version") != Some(&Value::Int(1)) {
+            return Err("baseline: missing or unsupported \"version\" (want 1)".to_string());
+        }
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("baseline: missing \"entries\" array")?;
+        let mut out = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry {i}: missing string field \"{k}\""))
+            };
+            out.push(Entry {
+                rule: field("rule")?,
+                file: field("file")?,
+                snippet: field("snippet")?,
+                reason: field("reason")?,
+            });
+        }
+        Ok(Self { entries: out })
+    }
+
+    /// Serialize to the canonical on-disk form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\n      \"rule\": \"{}\",\n      \"file\": \"{}\",\n      \
+                 \"snippet\": \"{}\",\n      \"reason\": \"{}\"\n    }}",
+                json::escape(&e.rule),
+                json::escape(&e.file),
+                json::escape(&e.snippet),
+                json::escape(&e.reason)
+            ));
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Build a baseline accepting every currently-unsuppressed finding.
+    /// (`--update-baseline`; A-family findings are never baselined.)
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: Vec<Entry> = findings
+            .iter()
+            .filter(|f| f.suppressed.is_none() && !f.rule.starts_with('A'))
+            .map(|f| Entry {
+                rule: f.rule.to_string(),
+                file: f.file.clone(),
+                snippet: f.snippet.clone(),
+                reason: "baselined pending fix".to_string(),
+            })
+            .collect();
+        entries.dedup();
+        Self { entries }
+    }
+
+    /// Mark findings matched by a baseline entry as suppressed, and
+    /// report entries that matched nothing (stale) or carry no reason
+    /// (malformed). Returns the extra A-family findings.
+    pub fn apply(&self, findings: &mut [Finding]) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        for f in findings.iter_mut() {
+            if f.suppressed.is_some() || f.rule.starts_with('A') {
+                continue;
+            }
+            if let Some(i) = self
+                .entries
+                .iter()
+                .position(|e| e.rule == f.rule && e.file == f.file && e.snippet == f.snippet)
+            {
+                used[i] = true;
+                f.suppressed = Some(Suppression {
+                    via: "baseline",
+                    reason: self.entries[i].reason.clone(),
+                });
+            }
+        }
+        let mut extra = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.reason.trim().is_empty() {
+                extra.push(Finding {
+                    rule: rules::RULE_BAD_SUPPRESSION,
+                    file: e.file.clone(),
+                    line: 0,
+                    message: format!(
+                        "baseline entry for {} in {} has no reason — every accepted \
+                         finding must be justified",
+                        e.rule, e.file
+                    ),
+                    snippet: e.snippet.clone(),
+                    suppressed: None,
+                });
+            }
+            if !used[i] {
+                extra.push(Finding {
+                    rule: rules::RULE_STALE_BASELINE,
+                    file: e.file.clone(),
+                    line: 0,
+                    message: format!(
+                        "stale baseline entry: no current {} finding in {} matches \
+                         snippet `{}` — remove it",
+                        e.rule, e.file, e.snippet
+                    ),
+                    snippet: e.snippet.clone(),
+                    suppressed: None,
+                });
+            }
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 7,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+            suppressed: None,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = Baseline {
+            entries: vec![Entry {
+                rule: "D001".to_string(),
+                file: "a.rs".to_string(),
+                snippet: "let m = HashMap::new();".to_string(),
+                reason: "membership-only".to_string(),
+            }],
+        };
+        let b2 = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b.entries, b2.entries);
+    }
+
+    #[test]
+    fn apply_suppresses_and_flags_stale() {
+        let b = Baseline {
+            entries: vec![
+                Entry {
+                    rule: "D001".to_string(),
+                    file: "a.rs".to_string(),
+                    snippet: "x".to_string(),
+                    reason: "ok".to_string(),
+                },
+                Entry {
+                    rule: "D001".to_string(),
+                    file: "gone.rs".to_string(),
+                    snippet: "y".to_string(),
+                    reason: "ok".to_string(),
+                },
+            ],
+        };
+        let mut fs = vec![finding(rules::RULE_HASH_CONTAINER, "a.rs", "x")];
+        let extra = b.apply(&mut fs);
+        assert!(fs[0].suppressed.is_some());
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra[0].rule, rules::RULE_STALE_BASELINE);
+    }
+
+    #[test]
+    fn empty_reason_is_flagged() {
+        let b = Baseline {
+            entries: vec![Entry {
+                rule: "D001".to_string(),
+                file: "a.rs".to_string(),
+                snippet: "x".to_string(),
+                reason: " ".to_string(),
+            }],
+        };
+        let mut fs = vec![finding(rules::RULE_HASH_CONTAINER, "a.rs", "x")];
+        let extra = b.apply(&mut fs);
+        assert!(extra.iter().any(|f| f.rule == rules::RULE_BAD_SUPPRESSION));
+    }
+}

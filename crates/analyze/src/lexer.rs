@@ -1,0 +1,412 @@
+//! A hand-rolled lexer for (a pragmatic superset of) Rust source text.
+//!
+//! The analyzer never needs full fidelity — it needs identifiers,
+//! literals, punctuation and comments with **exact byte spans and line
+//! numbers**, and it must be *total*: any byte sequence lexes to a token
+//! stream without panicking (the proptests in `tests/lexer_prop.rs` feed
+//! it arbitrary bytes). Unknown or malformed input degrades to
+//! single-character [`TokKind::Punct`] tokens rather than failing.
+//!
+//! Handled: line/block comments (nested), string literals (plain, raw
+//! `r#"…"#`, byte `b"…"`, raw-byte), char literals vs. lifetimes,
+//! numeric literals (int/float, radix prefixes, `_` separators,
+//! suffixes), identifiers (including raw `r#ident`) and one-byte
+//! punctuation. Multi-character operators (`::`, `+=`, `->`) are left as
+//! adjacent `Punct` tokens; consumers test adjacency via spans.
+
+/// The kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`) — *not* a char literal.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF_u32`).
+    Int,
+    /// Float literal (`1.5`, `2e-3`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// One punctuation character.
+    Punct,
+    /// `// …` comment (including doc comments), newline excluded.
+    LineComment,
+    /// `/* … */` comment (nesting honored; may be unterminated).
+    BlockComment,
+}
+
+/// One token: kind plus the byte span and 1-based line of its start.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into a complete token stream. Whitespace is dropped;
+/// comments are kept (the suppression scanner reads them).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, tracking lines. For multi-byte UTF-8 the
+    /// continuation bytes pass through here too — they can never equal
+    /// `\n`, so line accounting stays exact.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    while self.pos < self.bytes.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                b'"' => self.string(start, line),
+                b'\'' => self.char_or_lifetime(start, line),
+                b'r' | b'b' if self.raw_or_byte_literal(start, line) => {}
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    self.ident(start, line);
+                }
+                c if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `r#ident`.
+    /// Returns false (consuming nothing) when the prefix is a plain
+    /// identifier start after all.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let c0 = self.peek(0);
+        let (mut at, mut raw) = (1, c0 == b'r');
+        if c0 == b'b' && self.peek(1) == b'r' {
+            at = 2;
+            raw = true;
+        }
+        match self.peek(at) {
+            b'"' if !raw => {
+                // b"…": plain string with a b prefix.
+                self.bump();
+                self.string(start, line);
+                true
+            }
+            b'\'' if !raw => {
+                // b'…': byte literal.
+                self.bump();
+                self.char_or_lifetime(start, line);
+                true
+            }
+            b'"' | b'#' if raw => {
+                for _ in 0..at {
+                    self.bump();
+                }
+                let mut hashes = 0usize;
+                while self.peek(0) == b'#' {
+                    hashes += 1;
+                    self.bump();
+                }
+                if self.peek(0) != b'"' {
+                    // `r#ident` (raw identifier) or stray hashes: treat
+                    // the rest as an identifier continuation.
+                    self.ident(start, line);
+                    return true;
+                }
+                self.bump();
+                // Scan for `"` followed by `hashes` hash marks.
+                'outer: while self.pos < self.bytes.len() {
+                    if self.peek(0) == b'"' {
+                        for h in 0..hashes {
+                            if self.peek(1 + h) != b'#' {
+                                self.bump();
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokKind::Str, start, line);
+                true
+            }
+            _ => {
+                self.ident(start, line);
+                true
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            // Defensive: never emit an empty token.
+            self.bump();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) from `'\n'`.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.bump(); // the quote
+        if self.peek(0) == b'\\' {
+            // Escaped char literal.
+            self.bump();
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            if self.pos < self.bytes.len() {
+                self.bump();
+            }
+            self.push(TokKind::Char, start, line);
+            return;
+        }
+        // Consume one identifier-ish run (or a single other char).
+        let run_start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == run_start && self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+            // A single non-ident char such as `'+'`.
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+            self.push(TokKind::Char, start, line);
+        } else {
+            self.push(TokKind::Lifetime, start, line);
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'b' | b'o') {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_') {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                self.bump();
+            }
+            // Fractional part: a dot followed by a digit (so `0..n` and
+            // `x.method()` stay punctuation/ident).
+            if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                float = true;
+                self.bump();
+                while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.bump();
+                self.bump();
+                while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, `usize`…) rides along.
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            if matches!(self.peek(0), b'e' | b'E') && !float {
+                // Already handled above; a trailing `e` here is a suffix
+                // letter (hex digits were consumed in the radix arm).
+            }
+            self.bump();
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let ks = kinds("fn foo(a: u32) -> f64 { a as f64 + 1.5 }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(ks[1], (TokKind::Ident, "foo".into()));
+        assert!(ks.contains(&(TokKind::Float, "1.5".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("impl<'a> X<'a> { fn c() -> char { 'x' } }");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Char, "'x'".into())));
+        let ks = kinds(r"let c = '\n';");
+        assert!(ks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let ks = kinds(r####"let s = r#"has "quotes" inside"#; let t = "x\"y";"####);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].1.contains("quotes"));
+    }
+
+    #[test]
+    fn comments_keep_lines() {
+        let src = "a\n// c1\n/* c2\nc3 */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].kind, TokKind::BlockComment);
+        assert_eq!(toks[3].line, 5);
+        assert_eq!(toks[3].text(src), "b");
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let ks = kinds("for i in 0..10 {}");
+        assert!(ks.contains(&(TokKind::Int, "0".into())));
+        assert!(ks.contains(&(TokKind::Int, "10".into())));
+        assert!(!ks.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn totality_on_junk() {
+        for junk in [
+            "'",
+            "\"",
+            "r#",
+            "b'",
+            "/*",
+            "0x",
+            "r#\"never closed",
+            "\u{1F600}\u{1F600}",
+        ] {
+            let toks = lex(junk);
+            for t in &toks {
+                assert!(t.start < t.end && t.end <= junk.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Inline suppression comments.
+//!
+//! Syntax (inside any `//` comment):
+//!
+//! ```text
+//! // lint:allow(H001, reason the finding is acceptable)
+//! // lint:expect(H001)            — fixture corpus annotation
+//! ```
+//!
+//! Scope of an `allow`:
+//!
+//! * the **same line** as the finding, or the **line directly above** it;
+//! * when the comment sits on (or directly above) a `fn` signature, the
+//!   whole function body;
+//! * when it sits on (or directly above) a `struct` keyword, the whole
+//!   field list (for the snapshot-completeness rule).
+//!
+//! The reason is mandatory: an `allow` without one is itself reported
+//! ([`crate::rules::RULE_BAD_SUPPRESSION`]), and so is an `allow` that
+//! suppresses nothing ([`crate::rules::RULE_UNUSED_SUPPRESSION`]) — the
+//! suppression set can only shrink.
+
+use crate::parse::File;
+
+/// One parsed `lint:allow` / `lint:expect` marker.
+#[derive(Clone, Debug)]
+pub struct Marker {
+    /// `allow` or `expect`.
+    pub kind: MarkerKind,
+    /// Rule id the marker names (`H001`).
+    pub rule: String,
+    /// Justification (empty for `expect`, mandatory for `allow`).
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line range `[lo, hi]` the marker covers (computed from scope).
+    pub scope: (u32, u32),
+}
+
+/// Whether a marker suppresses or expects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `lint:allow` — suppresses matching findings within scope.
+    Allow,
+    /// `lint:expect` — fixture annotation: a finding must fire here.
+    Expect,
+}
+
+/// Scan one parsed file for markers, resolving scopes against its items.
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are exempt: they describe
+/// the syntax rather than use it, and suppressions belong on plain
+/// comments next to the code they justify. A `lint:allow` not directly
+/// followed by `(` is likewise treated as prose — an actual mistyped
+/// suppression reveals itself anyway, because the finding it meant to
+/// claim stays open.
+pub fn scan(file: &File) -> Vec<Marker> {
+    let mut out = Vec::new();
+    for tok in &file.comments {
+        let text = tok.text(&file.src);
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/*!")
+            || (text.starts_with("/**") && !text.starts_with("/**/"))
+        {
+            continue;
+        }
+        let mut rest = text;
+        while let Some(at) = rest.find("lint:") {
+            rest = &rest[at + 5..];
+            let kind = if let Some(r) = rest.strip_prefix("allow") {
+                rest = r;
+                MarkerKind::Allow
+            } else if let Some(r) = rest.strip_prefix("expect") {
+                rest = r;
+                MarkerKind::Expect
+            } else {
+                continue;
+            };
+            let Some(body) = rest.strip_prefix('(') else {
+                continue;
+            };
+            let Some(close) = body.find(')') else {
+                out.push(Marker {
+                    kind,
+                    rule: String::new(),
+                    reason: String::new(),
+                    line: tok.line,
+                    scope: (tok.line, tok.line + 1),
+                });
+                rest = body;
+                continue;
+            };
+            let inner = &body[..close];
+            rest = &body[close + 1..];
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+                None => (inner.trim().to_string(), String::new()),
+            };
+            let scope = scope_of(file, tok.line);
+            out.push(Marker {
+                kind,
+                rule,
+                reason,
+                line: tok.line,
+                scope,
+            });
+        }
+    }
+    out
+}
+
+/// A marker at `line` covers `[line, line + 1]` by default; sitting on
+/// (or directly above) an item signature widens it to the item.
+fn scope_of(file: &File, line: u32) -> (u32, u32) {
+    for f in &file.fns {
+        if f.line == line || f.line == line + 1 {
+            return (line, f.end_line);
+        }
+    }
+    for s in &file.structs {
+        if s.line == line || s.line == line + 1 {
+            let hi = s.fields.iter().map(|fl| fl.line).max().unwrap_or(s.line);
+            return (line, hi);
+        }
+    }
+    (line, line + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn scan_src(src: &str) -> (Vec<Marker>, File) {
+        let f = parse("t.rs", "engine", src, lex(src));
+        (scan(&f), f)
+    }
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let (m, _) = scan_src("// lint:allow(H001, cold path, runs once per fault)\nlet x = 1;");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].rule, "H001");
+        assert_eq!(m[0].reason, "cold path, runs once per fault");
+        assert_eq!(m[0].scope, (1, 2));
+    }
+
+    #[test]
+    fn fn_scope_covers_whole_body() {
+        let (m, _) = scan_src(
+            "// lint:allow(P002, indices bounded by radix)\nfn f() {\n  let a = 1;\n  let b = 2;\n}\n",
+        );
+        assert_eq!(m[0].scope, (1, 5));
+    }
+
+    #[test]
+    fn missing_reason_is_empty() {
+        let (m, _) = scan_src("// lint:allow(D001)\nlet x = 1;");
+        assert_eq!(m[0].rule, "D001");
+        assert!(m[0].reason.is_empty());
+    }
+
+    #[test]
+    fn expect_markers() {
+        let (m, _) = scan_src("let v = vec![]; // lint:expect(H001)");
+        assert_eq!(m[0].kind, MarkerKind::Expect);
+        assert_eq!(m[0].rule, "H001");
+    }
+}

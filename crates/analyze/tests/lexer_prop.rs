@@ -1,0 +1,105 @@
+//! Property tests: the lexer is total and its spans are sound.
+//!
+//! The analyzer's soundness leans on `lex` never panicking and never
+//! reporting a span outside the source — everything downstream (parser,
+//! suppression scanner, snippet extraction) slices `src` by token spans.
+
+use ofar_analyze::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Check every structural invariant of one lexed stream.
+fn check_stream(src: &str) {
+    let toks = lex(src);
+    let lines = 1 + src.bytes().filter(|&b| b == b'\n').count() as u32;
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for t in &toks {
+        assert!(
+            t.start < t.end,
+            "empty or inverted span {}..{}",
+            t.start,
+            t.end
+        );
+        assert!(
+            t.end <= src.len(),
+            "span {}..{} past end {}",
+            t.start,
+            t.end,
+            src.len()
+        );
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        assert!(t.start >= prev_end, "tokens overlap at byte {}", t.start);
+        assert!(t.line >= prev_line, "line numbers went backwards");
+        assert!(t.line <= lines, "line {} beyond {} lines", t.line, lines);
+        // Slicing by span must not panic and must be non-empty.
+        assert!(!t.text(src).is_empty());
+        prev_end = t.end;
+        prev_line = t.line;
+    }
+}
+
+/// Rust-ish fragments: these hit the interesting lexer paths (raw
+/// strings, nested and unterminated comments, lifetimes vs chars, radix
+/// ints, stray quotes) far more often than uniform byte noise does.
+const FRAGMENTS: [&str; 16] = [
+    "fn step",
+    "'a",
+    "'x'",
+    "r#\"raw \" inside\"#",
+    "b\"bytes\"",
+    "/* /* nested */",
+    "*/",
+    "// line comment",
+    "0xFF_u32",
+    "1.5e-3",
+    "\"unterminated",
+    "::<>",
+    "\n",
+    " ",
+    "r#match",
+    "b'\\n'",
+];
+
+proptest! {
+    /// Arbitrary bytes pushed through lossy UTF-8 conversion — exactly
+    /// how a hostile or truncated source file would reach the tool.
+    #[test]
+    fn lexes_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        check_stream(&src);
+    }
+
+    /// ASCII soup: printable characters plus controls and quotes.
+    #[test]
+    fn lexes_ascii_soup(bytes in proptest::collection::vec(9u8..127, 0..256)) {
+        let src = String::from_utf8(bytes).expect("range is valid ASCII");
+        check_stream(&src);
+    }
+
+    /// Streams assembled from Rust-ish fragments.
+    #[test]
+    fn lexes_token_soup(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..64)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        check_stream(&src);
+    }
+
+    /// Comments survive lexing with exact spans: whatever we embed in a
+    /// line comment comes back verbatim via `text` (the suppression
+    /// scanner depends on this).
+    #[test]
+    fn line_comment_roundtrip(picks in proptest::collection::vec(0usize..16, 1..32)) {
+        const CHARSET: [char; 16] = [
+            'a', 'b', 'z', 'A', 'Z', '0', '9', '_', ' ', ',', '(', ')', ':', ';', '.', '-',
+        ];
+        let body: String = picks.iter().map(|&i| CHARSET[i]).collect();
+        let src = format!("let x = 1; // {}\n", body.trim());
+        let toks = lex(&src);
+        let comment = toks
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::LineComment)
+            .expect("comment token present");
+        let expected = format!("// {}", body.trim());
+        prop_assert_eq!(comment.text(&src), expected.trim_end());
+    }
+}

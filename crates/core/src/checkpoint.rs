@@ -39,11 +39,11 @@ const CKPT_SNAP_BOUND: usize = 1 << 28;
 pub struct CheckpointPolicy {
     /// Cycles between checkpoints; `None` disables both saving and
     /// resuming.
-    pub interval: Option<u64>,
+    pub interval: Option<u64>, // lint:allow(S001, run configuration; not part of the checkpoint payload)
     /// Directory holding the checkpoint files.
-    pub dir: PathBuf,
+    pub dir: PathBuf, // lint:allow(S001, run configuration; not part of the checkpoint payload)
     /// How many newest checkpoints to retain per run key.
-    pub keep: usize,
+    pub keep: usize, // lint:allow(S001, run configuration; not part of the checkpoint payload)
 }
 
 impl CheckpointPolicy {
@@ -168,10 +168,10 @@ impl CheckpointPolicy {
 #[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// Cycles already simulated when the checkpoint was taken.
-    pub cycle: u64,
+    pub cycle: u64, // lint:allow(S001, written by this module's free encode/decode pair; covered by encode_decode_roundtrip)
     /// Stats baseline at the start of the measurement window, if the
     /// window had already opened.
-    pub start: Option<Stats>,
+    pub start: Option<Stats>, // lint:allow(S001, written by this module's free encode/decode pair; covered by encode_decode_roundtrip)
     gen_rng: [u64; 4],
     bern_rng: [u64; 4],
     snap: Vec<u8>,

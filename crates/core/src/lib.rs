@@ -28,8 +28,7 @@
 //! deadlock-free; build with the `audit` feature to additionally police
 //! the engine's conservation laws at runtime.
 
-#![forbid(unsafe_code)]
-#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod experiments;

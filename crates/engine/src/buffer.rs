@@ -69,6 +69,7 @@ impl VcFifo {
     /// flow-control bug, not an operational condition.
     #[inline]
     pub fn push(&mut self, pkt: Packet, phits: u32) {
+        // lint:allow(P001, overflow here means a broken credit loop; failing loud beats silent corruption)
         assert!(
             self.fits(phits),
             "VC overflow: {} + {phits} > {} phits (flow-control violation)",
@@ -105,6 +106,7 @@ impl VcFifo {
     /// Remove the head packet, releasing `phits` phits.
     #[inline]
     pub fn pop(&mut self, phits: u32) -> Packet {
+        // lint:allow(P001, pop contract requires a prior occupancy check; an empty pop is a broken allocator)
         let pkt = self.q.pop_front().expect("pop from empty VC");
         debug_assert!(self.occupancy >= phits);
         self.occupancy -= phits;

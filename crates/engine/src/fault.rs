@@ -20,7 +20,7 @@
 
 use crate::fabric::{Fabric, PortKind};
 use ofar_topology::{Dragonfly, HamiltonianRing, RouterId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One kind of fault transition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -254,25 +254,25 @@ pub fn random_global_links(topo: &Dragonfly, n: usize, seed: u64) -> Vec<(Router
 #[derive(Clone, Debug)]
 pub struct FaultState {
     /// `[router × n_out]` output-port liveness.
-    out_up: Vec<bool>,
+    out_up: Vec<bool>, // lint:allow(S001, derived per-port liveness; recomputed from the fault sets on restore)
     /// Per-ring liveness.
-    ring_up: Vec<bool>,
+    ring_up: Vec<bool>, // lint:allow(S001, derived per-ring liveness; recomputed from the fault sets on restore)
     /// Failed links, endpoints in canonical (sorted) order.
-    failed_links: HashSet<(RouterId, RouterId)>,
+    failed_links: BTreeSet<(RouterId, RouterId)>,
     /// Failed routers.
-    failed_routers: HashSet<RouterId>,
-    n_out: usize,
+    failed_routers: BTreeSet<RouterId>,
+    n_out: usize, // lint:allow(S001, fabric constant; rebuilt from the topology on restore)
     /// Fast path: true when nothing has ever failed (or all is restored).
     /// Transient wire-error state deliberately does NOT clear this — a
     /// lossy link is still *routable*, so the allocator's zero-fault fast
     /// path stays valid.
-    healthy: bool,
+    healthy: bool, // lint:allow(S001, derived fast-path flag; recomputed on restore)
     /// Pending one-shot payload corruptions, per canonical link pair.
-    pending_corrupt: HashMap<(RouterId, RouterId), u32>,
+    pending_corrupt: BTreeMap<(RouterId, RouterId), u32>,
     /// Pending one-shot wire drops, per canonical link pair.
-    pending_drop: HashMap<(RouterId, RouterId), u32>,
+    pending_drop: BTreeMap<(RouterId, RouterId), u32>,
     /// Per-link BER overrides in ppm per phit, canonical link pairs.
-    link_ber_ppm: HashMap<(RouterId, RouterId), u32>,
+    link_ber_ppm: BTreeMap<(RouterId, RouterId), u32>,
 }
 
 impl FaultState {
@@ -282,13 +282,13 @@ impl FaultState {
         Self {
             out_up: vec![true; nr * fab.n_out()],
             ring_up: vec![true; fab.rings().len()],
-            failed_links: HashSet::new(),
-            failed_routers: HashSet::new(),
+            failed_links: BTreeSet::new(),
+            failed_routers: BTreeSet::new(),
             n_out: fab.n_out(),
             healthy: true,
-            pending_corrupt: HashMap::new(),
-            pending_drop: HashMap::new(),
-            link_ber_ppm: HashMap::new(),
+            pending_corrupt: BTreeMap::new(),
+            pending_drop: BTreeMap::new(),
+            link_ber_ppm: BTreeMap::new(),
         }
     }
 
@@ -323,7 +323,7 @@ impl FaultState {
         self.healthy || !self.failed_routers.contains(&r)
     }
 
-    /// Currently failed links (canonical endpoint order, unsorted).
+    /// Currently failed links (canonical endpoint order, ascending).
     pub fn failed_links(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
         self.failed_links.iter().copied()
     }
@@ -540,19 +540,16 @@ impl FaultState {
     /// Append the live fault sets to a checkpoint. The derived per-port
     /// and per-ring liveness is *not* written — it is a pure function of
     /// the sets and is recomputed on restore — so the two can never
-    /// disagree after a round-trip. Hash containers are written in
-    /// sorted order to keep the byte stream deterministic.
+    /// disagree after a round-trip. The fault sets are ordered
+    /// containers, so iteration is already sorted and the byte stream is
+    /// deterministic by construction.
     pub(crate) fn snap_encode(&self, e: &mut Enc) {
-        let mut links: Vec<_> = self.failed_links.iter().copied().collect();
-        links.sort_unstable();
-        e.usize(links.len());
-        for l in links {
+        e.usize(self.failed_links.len());
+        for &l in &self.failed_links {
             encode_pair(e, l);
         }
-        let mut routers: Vec<_> = self.failed_routers.iter().copied().collect();
-        routers.sort_unstable();
-        e.usize(routers.len());
-        for r in routers {
+        e.usize(self.failed_routers.len());
+        for r in &self.failed_routers {
             e.u32(r.0);
         }
         for map in [
@@ -560,10 +557,8 @@ impl FaultState {
             &self.pending_drop,
             &self.link_ber_ppm,
         ] {
-            let mut kv: Vec<_> = map.iter().map(|(&k, &v)| (k, v)).collect();
-            kv.sort_unstable();
-            e.usize(kv.len());
-            for (k, v) in kv {
+            e.usize(map.len());
+            for (&k, &v) in map {
                 encode_pair(e, k);
                 e.u32(v);
             }

@@ -222,6 +222,7 @@ impl Llr {
         if ber <= 0.0 {
             return Fate::Good;
         }
+        // lint:allow(P002, packet size fits i32; powi takes i32 by API)
         let p_fail = 1.0 - (1.0 - ber).powi(size as i32);
         if self.next_f64() >= p_fail {
             return Fate::Good;
@@ -238,6 +239,7 @@ impl Llr {
     /// A nonzero CRC perturbation for a corrupted wire image.
     pub fn corruption(&mut self) -> u32 {
         loop {
+            // lint:allow(P002, deliberate truncation; keeps the low 32 bits of the generator word)
             let x = (self.next_u64() >> 16) as u32;
             if x != 0 {
                 return x;
@@ -337,6 +339,7 @@ impl Llr {
         let meta = self.rx[i]
             .wire
             .pop_front()
+            // lint:allow(P001, wire metadata is written at send time for every in-flight packet)
             .expect("arrival without wire metadata (LLR enabled mid-flight?)");
         if crc32(&pkt.fingerprint(meta.seq)) != meta.wire_crc {
             return (RxVerdict::CrcDrop, meta.seq);
@@ -447,6 +450,7 @@ impl Llr {
             .entries
             .iter_mut()
             .find(|e| e.seq == seq)
+            // lint:allow(P001, a replay entry exists for every outstanding seq by protocol invariant)
             .expect("retransmit of unknown seq");
         e.retries += 1;
         e.sent_at = now;
@@ -510,6 +514,7 @@ impl Llr {
         let entries = std::mem::take(&mut self.tx[ti].entries);
         self.tx[ti].acks.clear();
         let ri = self.rx_idx(dst_router, dst_port);
+        // lint:allow(H001, link-death recovery path; runs per fault event, not per cycle)
         let mut out = Vec::new();
         for e in entries {
             if !self.rx[ri].accepted(e.seq) {

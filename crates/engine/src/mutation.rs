@@ -65,6 +65,7 @@ impl EngineMutation {
             EngineMutation::CreditLeak { period } if hit(period) => (vc, 0),
             EngineMutation::CreditDouble { period } if hit(period) => (vc, phits * 2),
             EngineMutation::EscapeVcSkew { period } if hit(period) && vcs > 1 => {
+                // lint:allow(P002, vc count bounded by config well below 256)
                 (((vc as usize + 1) % vcs) as u8, phits)
             }
             _ => (vc, phits),

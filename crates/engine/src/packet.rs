@@ -98,6 +98,7 @@ impl Packet {
         out[8..12].copy_from_slice(&self.src.0.to_le_bytes());
         out[12..16].copy_from_slice(&self.dst.0.to_le_bytes());
         out[16..20].copy_from_slice(&seq.to_le_bytes());
+        // lint:allow(P002, fingerprint keeps the low 32 bits of injected_at by design; compared only within a replay window)
         out[20..24].copy_from_slice(&(self.injected_at as u32).to_le_bytes());
         out
     }
@@ -142,6 +143,7 @@ pub struct Request {
 impl Request {
     /// Convenience constructor.
     #[inline]
+    // lint:allow(P002, ports fit u16 and vcs fit u8 for any realizable fabric radix)
     pub fn new(out_port: usize, out_vc: usize, kind: RequestKind) -> Self {
         Self {
             out_port: out_port as u16,

@@ -47,6 +47,7 @@ impl<'a> RouterView<'a> {
     /// Packet size in phits.
     #[inline]
     pub fn packet_phits(&self) -> u32 {
+        // lint:allow(P002, packet_size is validated at config build and fits u32)
         self.fab.cfg().packet_size as u32
     }
 

@@ -147,6 +147,7 @@ impl std::error::Error for SnapshotError {}
 
 impl From<std::io::Error> for SnapshotError {
     fn from(e: std::io::Error) -> Self {
+        // lint:allow(H001, error conversion; runs once per failed restore, never on the cycle path)
         Self::Io(e.to_string())
     }
 }
@@ -221,6 +222,7 @@ impl<'a> Dec<'a> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        // lint:allow(P001, slice length fixed by take of 8 bytes; try_into is infallible)
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     pub(crate) fn usize(&mut self) -> Result<usize, SnapshotError> {

@@ -1,0 +1,139 @@
+//! Determinism signatures over the fault subsystem's ordered containers.
+//!
+//! The fault tracker keeps its failed-link/router sets and pending
+//! transient maps in `BTreeSet`/`BTreeMap` precisely so that iteration
+//! order — and therefore snapshot byte streams and degraded-mode routing
+//! decisions — is a pure function of *contents*, never of insertion
+//! history or hasher state. These tests pin that contract: identical
+//! runs are byte-identical, snapshots round-trip mid-outage, and the
+//! accessors iterate in ascending key order no matter how the faults
+//! arrived.
+
+mod common;
+
+use common::TestMin;
+use ofar_engine::{FaultPlan, Network, SimConfig};
+use ofar_topology::{NodeId, RouterId};
+
+/// A fault schedule touching every ordered container in `FaultState`:
+/// fail-stop links and a router (`failed_links` / `failed_routers`
+/// sets), one-shot transients (`pending_corrupt` / `pending_drop` maps)
+/// and a per-link BER override (`link_ber_ppm` map), with a restore so
+/// the sets shrink as well as grow.
+fn stress_plan() -> FaultPlan {
+    let r = RouterId::new;
+    FaultPlan::new()
+        .fail_link_at(50, r(2), r(3))
+        .fail_link_at(50, r(10), r(11))
+        .fail_router_at(120, r(7))
+        .corrupt_phit_at(10, r(0), r(1))
+        .drop_phit_at(20, r(1), r(2))
+        .set_link_ber_at(30, r(4), r(5), 5_000)
+        .restore_link_at(300, r(2), r(3))
+        .restore_router_at(350, r(7))
+}
+
+/// Build a seeded faulted network with traffic already injected.
+fn faulted_net(seed: u64) -> Network<TestMin> {
+    let mut cfg = SimConfig::paper(2);
+    cfg.seed = seed;
+    cfg.llr_retry_budget = 30;
+    let mut net = Network::new(cfg, TestMin);
+    net.set_fault_plan(stress_plan());
+    // Deterministic traffic spread across groups so degraded routing and
+    // the transient machinery all fire.
+    for i in 0usize..48 {
+        let (s, d) = (i % 72, (i * 29 + 5) % 72);
+        if s != d {
+            net.generate(NodeId::from(s), NodeId::from(d));
+        }
+    }
+    net
+}
+
+/// Step `net` for `cycles` cycles.
+fn advance(net: &mut Network<TestMin>, cycles: u64) {
+    for _ in 0..cycles {
+        net.step();
+    }
+}
+
+/// Identical seed + plan + traffic ⇒ byte-identical snapshots at every
+/// probe point, through link failures, a router failure, transients and
+/// restores. This is the signature that would diverge cross-process if
+/// any fault container were hash-ordered.
+#[test]
+fn faulted_run_snapshots_are_bit_identical() {
+    let mut a = faulted_net(42);
+    let mut b = faulted_net(42);
+    for probe in 0..6 {
+        advance(&mut a, 100);
+        advance(&mut b, 100);
+        assert_eq!(
+            a.save_snapshot(),
+            b.save_snapshot(),
+            "snapshot diverged at probe {probe}"
+        );
+    }
+    assert_eq!(a.stats().delivered_packets, b.stats().delivered_packets);
+}
+
+/// Snapshot taken mid-outage (failed links *and* pending transients
+/// live) restores into a fresh network that then evolves identically to
+/// the original — the BTree maps encode and decode completely.
+#[test]
+fn mid_outage_snapshot_roundtrips_and_replays() {
+    let mut orig = faulted_net(7);
+    advance(&mut orig, 150); // links 2–3 / 10–11 and router 7 are down
+    let snap = orig.save_snapshot();
+
+    let mut resumed = faulted_net(7);
+    resumed
+        .restore_snapshot(&snap)
+        .expect("mid-outage snapshot must decode");
+
+    // Both must agree immediately and keep agreeing through the
+    // restore events at cycles 300/350 and the drain that follows.
+    assert_eq!(orig.save_snapshot(), resumed.save_snapshot());
+    for probe in 0..5 {
+        advance(&mut orig, 100);
+        advance(&mut resumed, 100);
+        assert_eq!(
+            orig.save_snapshot(),
+            resumed.save_snapshot(),
+            "replay diverged at probe {probe}"
+        );
+    }
+}
+
+/// The fault accessors iterate in ascending key order regardless of the
+/// order failures were scheduled — the observable BTreeSet contract the
+/// degraded-routing code and snapshot codec rely on.
+#[test]
+fn fault_sets_iterate_in_ascending_order() {
+    let r = RouterId::new;
+    // Schedule failures so they apply in descending key order.
+    let plan = FaultPlan::new()
+        .fail_link_at(1, r(30), r(31))
+        .fail_link_at(2, r(20), r(21))
+        .fail_link_at(3, r(4), r(5))
+        .fail_router_at(4, r(25))
+        .fail_router_at(5, r(3));
+    let mut cfg = SimConfig::paper(2);
+    cfg.seed = 1;
+    let mut net = Network::new(cfg, TestMin);
+    net.set_fault_plan(plan);
+    advance(&mut net, 10);
+
+    let links: Vec<(RouterId, RouterId)> = net.faults().failed_links().collect();
+    let mut sorted = links.clone();
+    sorted.sort();
+    assert_eq!(links, sorted, "failed_links not ascending");
+    assert_eq!(links.len(), 3);
+
+    let routers: Vec<RouterId> = net.faults().failed_routers().collect();
+    let mut sorted = routers.clone();
+    sorted.sort();
+    assert_eq!(routers, sorted, "failed_routers not ascending");
+    assert_eq!(routers, vec![r(3), r(25)]);
+}

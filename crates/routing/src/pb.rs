@@ -55,16 +55,16 @@ impl Default for PbConfig {
 /// Piggybacking adaptive routing.
 #[derive(Clone, Debug)]
 pub struct PbPolicy {
-    ladder: VcLadder,
-    vcs_injection: usize,
-    groups: usize,
-    h: usize,
+    ladder: VcLadder, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
+    vcs_injection: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
+    groups: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
+    h: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     pb: PbConfig,
     /// Broadcast-visible occupancy of every global channel, indexed by
     /// `router · h + k`. Stale by up to `update_period` cycles.
     visible: Vec<f32>,
     rng: SmallRng,
-    probe: ProbeState,
+    probe: ProbeState, // lint:allow(S001, probe telemetry; diagnostic counters deliberately reset on restore)
 }
 
 impl PbPolicy {

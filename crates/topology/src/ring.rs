@@ -245,7 +245,7 @@ impl HamiltonianRing {
 
     /// Check that a family of rings is pairwise edge-disjoint (undirected).
     pub fn pairwise_edge_disjoint(topo: &Dragonfly, rings: &[Self]) -> bool {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for ring in rings {
             for e in &ring.edges {
                 if !seen.insert(e.undirected_key(topo)) {
@@ -265,7 +265,7 @@ impl HamiltonianRing {
         rings: &[Self],
         failed: &[(RouterId, RouterId)],
     ) -> usize {
-        let failed: std::collections::HashSet<(RouterId, RouterId)> = failed
+        let failed: std::collections::BTreeSet<(RouterId, RouterId)> = failed
             .iter()
             .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
             .collect();
@@ -329,7 +329,7 @@ mod tests {
     #[test]
     fn walecki_paths_are_hamiltonian_and_disjoint() {
         for a in [4usize, 6, 8, 12, 16] {
-            let mut used = std::collections::HashSet::new();
+            let mut used = std::collections::BTreeSet::new();
             for i in 0..a / 2 {
                 let path = in_group_path(a, i);
                 assert_eq!(path.len(), a, "a={a} i={i}");
@@ -451,7 +451,7 @@ mod tests {
         let rings = HamiltonianRing::embed_disjoint(&topo, 2);
         // collect every undirected link NOT used by any ring and fail
         // them all: every ring must survive
-        let used: std::collections::HashSet<_> = rings
+        let used: std::collections::BTreeSet<_> = rings
             .iter()
             .flat_map(|r| r.edges().iter().map(|e| e.undirected_key(&topo)))
             .collect();

@@ -1,0 +1,52 @@
+//! Determinism signatures for the ring family's ordered-set internals.
+//!
+//! `pairwise_edge_disjoint` and `surviving_rings` build `BTreeSet`s from
+//! caller-supplied lists; their answers must be pure functions of the
+//! *set* of inputs, never of the order the caller happened to list them
+//! in, and repeated construction must yield identical ring embeddings.
+
+use ofar_topology::{Dragonfly, HamiltonianRing, RouterId};
+
+/// Every permutation of the failed-link list gives the same survivor
+/// count, whether links are listed canonical-first or reversed.
+#[test]
+fn surviving_rings_ignores_failed_list_order() {
+    let topo = Dragonfly::balanced(4);
+    let rings = HamiltonianRing::embed_disjoint(&topo, 2);
+    // Kill a handful of edges of ring 0, listed in two orders and with
+    // endpoints flipped.
+    let pairs = rings[0].successor_pairs(&topo);
+    let forward: Vec<(RouterId, RouterId)> = pairs.iter().take(4).copied().collect();
+    let mut reversed: Vec<(RouterId, RouterId)> =
+        forward.iter().rev().map(|&(a, b)| (b, a)).collect();
+    let a = HamiltonianRing::surviving_rings(&topo, &rings, &forward);
+    let b = HamiltonianRing::surviving_rings(&topo, &rings, &reversed);
+    assert_eq!(a, b, "survivor count depends on failed-list order");
+    // Duplicated entries are still one failed link.
+    reversed.extend_from_slice(&forward);
+    let c = HamiltonianRing::surviving_rings(&topo, &rings, &reversed);
+    assert_eq!(a, c, "survivor count depends on duplicate listings");
+    assert!(a < rings.len(), "killing ring-0 edges must disable ring 0");
+}
+
+/// Re-embedding the ring family is bit-reproducible: same topology in,
+/// same router orders and edge lists out, every time.
+#[test]
+fn ring_embedding_is_reproducible() {
+    for h in [2usize, 4] {
+        let t1 = Dragonfly::balanced(h);
+        let t2 = Dragonfly::balanced(h);
+        let r1 = HamiltonianRing::embed_disjoint(&t1, 2);
+        let r2 = HamiltonianRing::embed_disjoint(&t2, 2);
+        assert_eq!(r1.len(), r2.len());
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.order(), b.order(), "h={h}: ring orders differ");
+            assert_eq!(
+                a.successor_pairs(&t1),
+                b.successor_pairs(&t2),
+                "h={h}: ring edges differ"
+            );
+        }
+        assert!(HamiltonianRing::pairwise_edge_disjoint(&t1, &r1));
+    }
+}

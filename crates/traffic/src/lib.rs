@@ -19,8 +19,7 @@
 //! The crate is engine-agnostic: generators yield `(src, dst)` pairs and
 //! the experiment harness feeds them to the simulator.
 
-#![forbid(unsafe_code)]
-#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
 
 pub mod pattern;
 pub mod stencil;

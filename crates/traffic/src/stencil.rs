@@ -278,7 +278,7 @@ mod tests {
             let s = StencilTraffic::square_2d(&t, mapping, 4);
             let g = t.num_groups();
             let per_group = t.num_nodes() / g;
-            let mut touched = vec![std::collections::HashSet::new(); g];
+            let mut touched = vec![std::collections::BTreeSet::new(); g];
             s.exchange_round(|a, b| {
                 let ga = a.idx() / per_group;
                 let gb = b.idx() / per_group;

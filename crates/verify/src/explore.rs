@@ -57,7 +57,7 @@ use ofar_engine::{
 use ofar_routing::common::current_minimal_hop;
 use ofar_routing::{ClassEdge, ClassId, EdgeWhy, EnumerablePolicy, MechanismDeps, ProbePin};
 use ofar_topology::{GroupId, MinimalHop, NodeId, RouterId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque}; // lint:allow(D001, membership-only sets; never iterated)
 
 /// The credit/occupancy lattice applied to the probed router. Each point
 /// shapes the availability and occupancy signals a policy can read;
@@ -124,12 +124,12 @@ struct Explorer<P> {
     probe: ViewProbe,
     policy: P,
     decl: MechanismDeps,
-    declared: HashSet<(ClassId, ClassId)>,
+    declared: HashSet<(ClassId, ClassId)>, // lint:allow(D001, membership-only; BFS order comes from the VecDeque, never from set iteration)
     rank: RankingKind,
-    visited: HashSet<AbsState>,
+    visited: HashSet<AbsState>, // lint:allow(D001, membership-only; BFS order comes from the VecDeque, never from set iteration)
     queue: VecDeque<AbsState>,
     observed: Vec<ClassEdge>,
-    observed_set: HashSet<(ClassId, ClassId)>,
+    observed_set: HashSet<(ClassId, ClassId)>, // lint:allow(D001, membership-only; BFS order comes from the VecDeque, never from set iteration)
     decisions: usize,
     hop_bound: u64,
     /// Node standing in for every source (all sources share group 0 and
@@ -155,10 +155,10 @@ impl<P: EnumerablePolicy> Explorer<P> {
             decl,
             declared,
             rank,
-            visited: HashSet::new(),
+            visited: HashSet::new(), // lint:allow(D001, membership-only; never iterated)
             queue: VecDeque::new(),
             observed: Vec::new(),
-            observed_set: HashSet::new(),
+            observed_set: HashSet::new(), // lint:allow(D001, membership-only; never iterated)
             decisions: 0,
             hop_bound: 0,
             canonical_src,

@@ -36,9 +36,6 @@
 //! assert!(ofar.throughput > 0.15);
 //! ```
 
-#![forbid(unsafe_code)]
-#![deny(rust_2018_idioms)]
-
 pub use ofar_core::*;
 
 /// Convenience prelude (re-export of [`ofar_core::prelude`]).
