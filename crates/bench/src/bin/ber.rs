@@ -29,6 +29,9 @@ fn outcome(p: &BerPoint) -> String {
         Some(StallKind::Livelock { stalled_routers }) => {
             format!("livelock ({} routers)", stalled_routers.len())
         }
+        Some(StallKind::Saturation { backlog, .. }) => {
+            format!("saturation ({backlog} backlog)")
+        }
     }
 }
 

@@ -27,6 +27,9 @@ fn outcome(p: &DegradationPoint) -> String {
         Some(StallKind::Livelock { stalled_routers }) => {
             format!("livelock ({} routers)", stalled_routers.len())
         }
+        Some(StallKind::Saturation { backlog, .. }) => {
+            format!("saturation ({backlog} backlog)")
+        }
     }
 }
 

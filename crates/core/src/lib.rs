@@ -33,6 +33,7 @@
 pub mod checkpoint;
 pub mod experiments;
 pub mod faults;
+pub mod overload;
 pub mod run;
 pub mod store;
 pub mod table;
@@ -43,6 +44,7 @@ pub use experiments::Scale;
 pub use faults::{
     ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
 };
+pub use overload::{overload_point, overload_sweep, OverloadOpts, OverloadPoint};
 pub use run::{
     burst, burst_comparison, burst_faulted, burst_net, derive_watchdog, load_sweep,
     replay_snapshot, saturation_throughput, steady_state, steady_state_checkpointed,
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::faults::{
         ber_burst, ber_sweep, degradation, degradation_sweep, BerPoint, DegradationPoint,
     };
+    pub use crate::overload::{overload_point, overload_sweep, OverloadOpts, OverloadPoint};
     pub use crate::run::{
         burst, burst_comparison, burst_faulted, burst_net, derive_watchdog, load_sweep,
         replay_snapshot, saturation_throughput, steady_state, steady_state_checkpointed,
@@ -78,12 +81,12 @@ pub mod prelude {
     pub use crate::table::Table;
     pub use crate::theory;
     pub use ofar_engine::{
-        random_global_links, AuditReport, AuditViolation, FaultKind, FaultPlan, Network, Policy,
-        RingMode, SimConfig, SnapshotError, Stats, StatsWindow,
+        jain_index, random_global_links, source_histogram, AuditReport, AuditViolation, FaultKind,
+        FaultPlan, Network, Policy, RingMode, SimConfig, SnapshotError, Stats, StatsWindow,
     };
     pub use ofar_routing::{
         DependencyDecl, Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, OfarPolicy,
-        PbConfig,
+        PbConfig, RingGuard,
     };
     pub use ofar_topology::{
         Dragonfly, DragonflyParams, GroupId, HamiltonianRing, NodeId, RouterId,

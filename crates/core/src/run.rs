@@ -65,7 +65,7 @@ pub struct SteadyPoint {
 /// graph. Cached per configuration like the plain certificate, but
 /// markedly more expensive on first use — an opt-in for CI and paranoid
 /// runs.
-fn ensure_certified(cfg: &SimConfig, kind: MechanismKind) {
+pub(crate) fn ensure_certified(cfg: &SimConfig, kind: MechanismKind) {
     let conformance = std::env::var("OFAR_CONFORMANCE").is_ok_and(|v| v == "1");
     if conformance {
         if let Err(e) = ofar_verify::conformance_cached(cfg, kind) {
@@ -392,14 +392,17 @@ pub fn transient(
 
 /// Why a run's progress watchdog fired.
 ///
-/// The watchdog distinguishes four failure modes instead of silently
+/// The watchdog distinguishes five failure modes instead of silently
 /// returning "no progress": a *partition* (failures disconnected some
 /// source–destination pairs — no routing mechanism can finish), a
 /// *retransmission storm* (every link is alive but the error rate is so
 /// high the link layer retries forever and goodput collapses), a
 /// *deadlock* (buffered packets but no allocator grant anywhere for a
-/// whole window) and a *livelock* (grants keep happening — packets move —
-/// but none has been delivered for several windows).
+/// whole window), a *livelock* (grants keep happening — packets move —
+/// but none has been delivered for several windows) and *saturation*
+/// (the topology is healthy and packets keep draining, but offered load
+/// exceeds delivered throughput so the backlog diverges — an overload
+/// condition, not a routing defect).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StallKind {
     /// Link/router failures disconnected the listed in-flight
@@ -431,6 +434,23 @@ pub enum StallKind {
     Livelock {
         /// Routers holding phits that have not granted for a window.
         stalled_routers: Vec<RouterId>,
+    },
+    /// The network is healthy — connected topology, grants flowing,
+    /// deliveries within the last watchdog window — but offered load
+    /// exceeds delivered throughput, so the in-flight backlog diverges.
+    /// Post-saturation overload, not a routing defect: distinguishes
+    /// over-saturation "livelock" (drain is nonzero) from true routing
+    /// livelock (drain is zero). Diagnosed only by open-loop runners
+    /// that keep injecting (e.g. the overload sweep); a closed-loop
+    /// burst that stopped delivering can never reach this arm.
+    Saturation {
+        /// Packets generated (offered demand, including NIC queues)
+        /// when the watchdog fired.
+        offered: u64,
+        /// Packets delivered when the watchdog fired.
+        delivered: u64,
+        /// Diverging backlog (`offered - delivered`).
+        backlog: u64,
     },
 }
 
@@ -484,6 +504,12 @@ pub struct BurstResult {
     pub p99_latency: f64,
     /// Escape-ring entries over the whole burst.
     pub ring_entries: u64,
+    /// Jain fairness index of per-source delivered packets (1.0 =
+    /// perfectly fair; 1/n = one source monopolizes the network).
+    pub jain_fairness: f64,
+    /// Packets delivered per source NIC, indexed by node id — the raw
+    /// distribution behind [`BurstResult::jain_fairness`].
+    pub per_source_delivered: Vec<u64>,
     /// Why the watchdog fired (`None` when the burst drained).
     pub stall: Option<StallKind>,
     /// Full engine counters at the end of the run — delivery accounting,
@@ -591,6 +617,8 @@ pub fn burst_net<P: Policy>(
                 avg_latency: net.stats().avg_latency(),
                 p99_latency: p99_of(net.take_delivery_log()),
                 ring_entries: net.stats().ring_entries,
+                jain_fairness: net.jain_fairness(),
+                per_source_delivered: net.per_source_delivered().to_vec(),
                 stall: Some(stall),
                 stats: net.stats().clone(),
                 audit: final_audit(net),
@@ -603,6 +631,8 @@ pub fn burst_net<P: Policy>(
         avg_latency: net.stats().avg_latency(),
         p99_latency: p99_of(net.take_delivery_log()),
         ring_entries: net.stats().ring_entries,
+        jain_fairness: net.jain_fairness(),
+        per_source_delivered: net.per_source_delivered().to_vec(),
         stall: None,
         stats: net.stats().clone(),
         audit: final_audit(net),
@@ -735,7 +765,7 @@ pub fn replay_snapshot(path: &Path, cycles: u64) -> Result<ReplayReport, Snapsho
 
 /// 99th-percentile latency of a delivery log (`(injected_at, latency)`
 /// pairs); 0 when empty.
-fn p99_of(log: Vec<(u64, u32)>) -> f64 {
+pub(crate) fn p99_of(log: Vec<(u64, u32)>) -> f64 {
     let mut lat: Vec<u32> = log.into_iter().map(|(_, l)| l).collect();
     if lat.is_empty() {
         return 0.0;
@@ -762,7 +792,7 @@ fn final_audit<P: Policy>(_net: &mut Network<P>) -> Option<AuditReport> {
 /// alive but the link layer burned `retx_since` retries since the last
 /// delivery, so the allocator's silence is a symptom, not the disease.
 /// Otherwise a silent allocator means deadlock and a busy one livelock.
-fn diagnose_stall<P: Policy>(
+pub(crate) fn diagnose_stall<P: Policy>(
     net: &Network<P>,
     watchdog: u64,
     no_grant: bool,
@@ -776,6 +806,21 @@ fn diagnose_stall<P: Policy>(
         return StallKind::RetransmissionStorm {
             links: net.top_retransmit_links(8),
             retransmits: net.stats().llr_retransmits,
+        };
+    }
+    let s = net.stats();
+    if !no_grant
+        && s.generated_packets > s.delivered_packets
+        && net.now().saturating_sub(s.last_delivery) <= watchdog
+    {
+        // Deliveries are recent and grants are flowing: the network is
+        // draining, just slower than the offered load. In a closed-loop
+        // burst the `no_delivery` trigger implies a stale last delivery,
+        // so this arm is reachable only from open-loop overload runners.
+        return StallKind::Saturation {
+            offered: s.generated_packets,
+            delivered: s.delivered_packets,
+            backlog: s.generated_packets - s.delivered_packets,
         };
     }
     let stalled_routers = net.stalled_routers(watchdog);

@@ -203,6 +203,37 @@ pub enum AuditViolation {
         /// Configured window, in packets.
         window: u32,
     },
+    /// Token conservation failed in the congestion-management throttle:
+    /// units granted to the buckets minus units consumed by injections
+    /// must equal the sum of current bucket levels exactly (grants are
+    /// cap-clamped at credit time, so the law is an identity, not an
+    /// inequality). A firing means some injection bypassed the bucket
+    /// debit or some refill escaped the accounting.
+    ThrottleTokenLaw {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Token units granted since cycle 0 (cap-clamped).
+        granted: u64,
+        /// Token units consumed by injections since cycle 0.
+        consumed: u64,
+        /// Sum of all per-NIC bucket levels right now.
+        levels: u64,
+    },
+    /// The congestion sensor's incrementally-maintained free-credit sum
+    /// disagrees with a fresh scan of the router's output credits. The
+    /// sensor is updated at every credit mutation site; drift means a
+    /// credit moved through a path the sensor does not mirror, and every
+    /// throttle decision after the divergence point is suspect.
+    CmSensorDrift {
+        /// Cycle of the deep check.
+        cycle: u64,
+        /// Router whose sums diverged.
+        router: u32,
+        /// The incrementally-tracked free-credit sum.
+        tracked: u64,
+        /// The freshly-scanned free-credit sum.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -331,6 +362,26 @@ impl fmt::Display for AuditViolation {
                 f,
                 "cycle {cycle}: replay buffer at R{router} out {port} holds \
                  {occupancy} entries > window {window}"
+            ),
+            Self::ThrottleTokenLaw {
+                cycle,
+                granted,
+                consumed,
+                levels,
+            } => write!(
+                f,
+                "cycle {cycle}: throttle token law broken: granted {granted} - \
+                 consumed {consumed} != bucket levels {levels}"
+            ),
+            Self::CmSensorDrift {
+                cycle,
+                router,
+                tracked,
+                actual,
+            } => write!(
+                f,
+                "cycle {cycle}: congestion sensor drift at R{router}: tracked \
+                 free credits {tracked} != scanned {actual}"
             ),
         }
     }

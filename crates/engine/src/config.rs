@@ -78,6 +78,19 @@ pub enum ConfigError {
     /// round trip fires before the ack can possibly arrive, guaranteeing
     /// spurious retransmissions.
     ZeroLlrTimeoutSlack,
+    /// `cm_target_occupancy` outside `(0, 1]` — the congestion sensor
+    /// compares an occupancy *fraction* against it, so a target of 0
+    /// throttles forever and a target above 1 never engages. (No
+    /// payload: the offending `f64` would cost this enum its `Eq`.)
+    CmTargetOutOfRange,
+    /// `cm_hysteresis` outside `[0, cm_target_occupancy)` — the release
+    /// threshold `target − hysteresis` must stay positive or a throttled
+    /// NIC can never recover full rate.
+    CmHysteresisOutOfRange,
+    /// `cm_min_rate` outside `(0, 1]` — a floor of 0 would let the
+    /// throttle block injection outright (starvation), and a floor above
+    /// 1 is not a floor.
+    CmMinRateOutOfRange,
 }
 
 impl fmt::Display for ConfigError {
@@ -128,6 +141,18 @@ impl fmt::Display for ConfigError {
             Self::ZeroLlrTimeoutSlack => write!(
                 f,
                 "llr_timeout_slack must be positive (a bare round-trip timeout is always spurious)"
+            ),
+            Self::CmTargetOutOfRange => {
+                write!(f, "cm_target_occupancy must lie in (0, 1]")
+            }
+            Self::CmHysteresisOutOfRange => write!(
+                f,
+                "cm_hysteresis must lie in [0, cm_target_occupancy) so the \
+                 release threshold stays positive"
+            ),
+            Self::CmMinRateOutOfRange => write!(
+                f,
+                "cm_min_rate must lie in (0, 1] (a zero floor starves injection)"
             ),
         }
     }
@@ -208,6 +233,23 @@ pub struct SimConfig {
     /// Retries allowed per packet before the link is declared
     /// persistently failing and escalated to the §VII fail-stop path.
     pub llr_retry_budget: u32,
+    /// Enable the congestion-management layer: per-NIC token-bucket
+    /// injection throttling driven by per-router occupancy sensing, plus
+    /// escape-ring admission protection in OFAR. Throttling only delays
+    /// `on_inject`; packets already in flight are never slowed, so CDG
+    /// certification and conformance envelopes are unchanged.
+    pub cm_enabled: bool,
+    /// Sensed-occupancy fraction at which a router's NICs throttle to
+    /// `cm_min_rate`, in `(0, 1]`.
+    pub cm_target_occupancy: f64,
+    /// Hysteresis band: a throttled router returns to full rate only
+    /// once sensed occupancy falls below `cm_target_occupancy −
+    /// cm_hysteresis`. Must lie in `[0, cm_target_occupancy)`.
+    pub cm_hysteresis: f64,
+    /// Throttled injection rate floor as a fraction of full rate, in
+    /// `(0, 1]`. Strictly positive so the throttle can never block
+    /// injection outright.
+    pub cm_min_rate: f64,
 }
 
 impl SimConfig {
@@ -237,6 +279,10 @@ impl SimConfig {
             llr_timeout_slack: 64,
             llr_backoff_cap: 6,
             llr_retry_budget: 16,
+            cm_enabled: false,
+            cm_target_occupancy: 0.55,
+            cm_hysteresis: 0.15,
+            cm_min_rate: 0.1,
         }
     }
 
@@ -267,6 +313,13 @@ impl SimConfig {
     /// Override the per-phit bit-error rate (nonzero enables LLR).
     pub fn with_ber(mut self, ber: f64) -> Self {
         self.ber = ber;
+        self
+    }
+
+    /// Enable the congestion-management layer with the default tuning
+    /// (target occupancy 0.55, hysteresis 0.15, rate floor 0.1).
+    pub fn with_cm(mut self) -> Self {
+        self.cm_enabled = true;
         self
     }
 
@@ -345,6 +398,15 @@ impl SimConfig {
         }
         if self.llr_timeout_slack == 0 {
             return Err(ConfigError::ZeroLlrTimeoutSlack);
+        }
+        if !(self.cm_target_occupancy > 0.0 && self.cm_target_occupancy <= 1.0) {
+            return Err(ConfigError::CmTargetOutOfRange);
+        }
+        if !(self.cm_hysteresis >= 0.0 && self.cm_hysteresis < self.cm_target_occupancy) {
+            return Err(ConfigError::CmHysteresisOutOfRange);
+        }
+        if !(self.cm_min_rate > 0.0 && self.cm_min_rate <= 1.0) {
+            return Err(ConfigError::CmMinRateOutOfRange);
         }
         Ok(())
     }
@@ -451,6 +513,52 @@ mod tests {
         c.llr_retry_budget = 1;
         c.llr_timeout_slack = 0;
         assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroLlrTimeoutSlack);
+    }
+
+    #[test]
+    fn validation_rejects_bad_cm_parameters() {
+        let mut c = SimConfig::paper(2).with_cm();
+        assert!(c.cm_enabled);
+        c.validate().unwrap();
+
+        c.cm_target_occupancy = 0.0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CmTargetOutOfRange);
+        c.cm_target_occupancy = 1.5;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CmTargetOutOfRange);
+        c.cm_target_occupancy = f64::NAN;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CmTargetOutOfRange);
+        c.cm_target_occupancy = 1.0;
+        c.validate().unwrap();
+
+        c.cm_hysteresis = -0.1;
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::CmHysteresisOutOfRange
+        );
+        c.cm_hysteresis = 1.0; // == target: release threshold hits zero
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ConfigError::CmHysteresisOutOfRange
+        );
+        c.cm_hysteresis = 0.0;
+        c.validate().unwrap();
+
+        c.cm_min_rate = 0.0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CmMinRateOutOfRange);
+        c.cm_min_rate = 1.1;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CmMinRateOutOfRange);
+        c.cm_min_rate = 1.0;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn cm_bounds_hold_even_when_disabled() {
+        // The snapshot codec round-trips the cm fields regardless of
+        // cm_enabled, so validate() polices them unconditionally.
+        let mut c = SimConfig::paper(2);
+        assert!(!c.cm_enabled);
+        c.cm_min_rate = 0.0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::CmMinRateOutOfRange);
     }
 
     #[test]

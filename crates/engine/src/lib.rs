@@ -59,4 +59,4 @@ pub use snapshot::{
     config_fingerprint, peek_header, read_file, write_atomic, SnapshotError, SnapshotHeader,
     SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use stats::{Stats, StatsWindow, STATS_COUNTERS};
+pub use stats::{jain_index, source_histogram, Stats, StatsWindow, STATS_COUNTERS};

@@ -51,6 +51,13 @@ pub enum EngineMutation {
     /// check (the ring no longer holds a free packet-sized bubble) or,
     /// dynamically, by the run watchdog.
     RingBubbleSkip,
+    /// Ignore the congestion-management token bucket at injection: the
+    /// NIC injects even when its bucket is short, debiting what it can
+    /// (`saturating_sub`) while the consumption counter records the full
+    /// price. Granted − consumed then drifts below the summed bucket
+    /// levels — the deep `ThrottleTokenLaw` check must fire as soon as
+    /// throttling actually engages.
+    ThrottleBypass,
 }
 
 impl EngineMutation {
@@ -82,6 +89,11 @@ impl EngineMutation {
         }
     }
 
+    /// Whether the congestion-management injection gate is bypassed.
+    pub(crate) fn bypass_throttle(self) -> bool {
+        matches!(self, EngineMutation::ThrottleBypass)
+    }
+
     /// Short stable name used in kill-matrix reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -89,6 +101,7 @@ impl EngineMutation {
             EngineMutation::CreditDouble { .. } => "engine-credit-double",
             EngineMutation::EscapeVcSkew { .. } => "engine-escape-vc-skew",
             EngineMutation::RingBubbleSkip => "engine-ring-bubble-skip",
+            EngineMutation::ThrottleBypass => "engine-throttle-bypass",
         }
     }
 }
@@ -116,5 +129,17 @@ mod tests {
     fn ring_need_halves_only_for_bubble_skip() {
         assert_eq!(EngineMutation::RingBubbleSkip.ring_need(8), 8);
         assert_eq!(EngineMutation::CreditLeak { period: 1 }.ring_need(8), 16);
+    }
+
+    #[test]
+    fn throttle_bypass_is_scoped_to_its_seam() {
+        assert!(EngineMutation::ThrottleBypass.bypass_throttle());
+        assert!(!EngineMutation::RingBubbleSkip.bypass_throttle());
+        // The bypass must not perturb the credit or bubble seams.
+        assert_eq!(
+            EngineMutation::ThrottleBypass.skew_credit(1, 4, 3, 2),
+            (1, 4)
+        );
+        assert_eq!(EngineMutation::ThrottleBypass.ring_need(8), 16);
     }
 }

@@ -75,6 +75,12 @@ pub struct Network<P: Policy> {
     /// path (see [`crate::llr`]). Enabled by a nonzero `cfg.ber`, a
     /// transient fault plan, or [`Self::enable_llr`].
     llr: Option<Llr>,
+    /// Congestion-management throttle state; `Some` iff `cfg.cm_enabled`
+    /// (per-router occupancy estimators + per-NIC token buckets).
+    cm: Option<CmState>,
+    /// Packets delivered per source node (Jain fairness / per-source
+    /// histograms; one counter bump per delivery, always on).
+    delivered_per_src: Vec<u64>,
     /// Runtime invariant auditor; `None` until [`Self::enable_audit`].
     #[cfg(feature = "audit")]
     auditor: Option<crate::audit::Auditor>, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
@@ -95,6 +101,126 @@ pub struct Network<P: Policy> {
     best_out: Vec<Option<(u64, u16, u32)>>, // lint:allow(S001, per-cycle scratch; rebuilt each cycle and dead at snapshot boundaries)
 }
 
+/// Fixed-point scale of the congestion-management token buckets:
+/// 256 bucket units per phit, so fractional rate floors stay exact in
+/// integer arithmetic (`cm_min_rate` resolves to whole units per cycle).
+const CM_TOKEN_SCALE: u32 = 256;
+
+/// Fixed-point one (`1.0`) of the per-router occupancy estimator.
+const CM_CONG_ONE: u32 = 1 << 16;
+
+/// Shift of the sensor's exact multiply-shift division. With
+/// `M = ceil(2^50 / d)` the identity `(n * M) >> 50 == n / d` holds for
+/// every feasible operand pair: writing `M = (2^50 + e) / d` with
+/// `0 ≤ e < d`, the rounding term is `n·e / 2^50 < 1` whenever
+/// `n·d < 2^50`, and the sensor's numerator `n = used · 2^16` with
+/// `used ≤ d < 2^17` keeps `n·d < 2^(17+16+17) = 2^50`. The widened
+/// product `n·M < 2^33 · 2^50` needs u128 — one `mulx` on 64-bit
+/// targets, far cheaper than the `div` it replaces.
+const CM_INV_SHIFT: u32 = 50;
+
+/// Congestion-management state: per-router occupancy estimators with a
+/// hysteresis flag, and one token bucket per NIC. All integer, all
+/// snapshot-covered (see `encode_state`); the derived rate constants are
+/// recomputed from the configuration on construction and restore.
+struct CmState {
+    /// Token bucket per node, in `CM_TOKEN_SCALE` units per phit.
+    tokens: Vec<u32>,
+    /// Per-router smoothed occupancy (EWMA, `CM_CONG_ONE` fixed point).
+    cong: Vec<u32>,
+    /// Per-router hysteresis state: `true` while throttled.
+    throttled: Vec<bool>,
+    /// Bucket capacity (two packets of headroom). Config-derived.
+    cap: u32,
+    /// Full-rate refill: one phit per cycle. Config-derived.
+    full_rate: u32,
+    /// Throttled refill floor, ≥ 1 unit per cycle. Config-derived.
+    min_rate: u32,
+    /// Throttle-on threshold in `CM_CONG_ONE` fixed point. Config-derived.
+    on_fp: u32,
+    /// Throttle-off threshold (`target − hysteresis`). Config-derived.
+    off_fp: u32,
+    /// Per-router Σ capacity over its network outputs (static for a
+    /// fabric; ejection ports carry no credits and contribute 0).
+    cap_sum: Vec<u64>,
+    /// Per-router Σ credits over its network outputs, maintained
+    /// incrementally at the three credit-mutation sites so the per-cycle
+    /// sensor is O(1) per router instead of a full port scan. Equals the
+    /// scan whenever no fault is active; the fault path re-scans (a
+    /// failed link must sense as fully occupied, which a plain credit
+    /// sum cannot express).
+    free: Vec<u64>,
+    /// Per-router magic reciprocal `ceil(2^CM_INV_SHIFT / cap_sum)`
+    /// (0 for a router with no credited outputs): the healthy sensor
+    /// divides by a per-router *constant*, so a multiply-shift with
+    /// this factor replaces the hardware division — and it is exact
+    /// over the whole feasible range (see [`CM_INV_SHIFT`] and the
+    /// `cm_reciprocal_division_is_exact` test), so sensor values are
+    /// bit-identical to the divided form.
+    inv: Vec<u64>,
+}
+
+impl CmState {
+    fn new(cfg: &SimConfig, nodes: usize, routers: usize) -> Self {
+        let size = cfg.packet_size as u32;
+        let cap = 2 * size * CM_TOKEN_SCALE;
+        Self {
+            // Buckets start full: an idle network must inject at line
+            // rate from cycle 0 exactly as without CM.
+            tokens: vec![cap; nodes],
+            cong: vec![0; routers],
+            throttled: vec![false; routers],
+            cap,
+            full_rate: CM_TOKEN_SCALE,
+            min_rate: ((cm_fp(cfg.cm_min_rate) as u64 * u64::from(CM_TOKEN_SCALE)) >> 16).max(1)
+                as u32,
+            on_fp: cm_fp(cfg.cm_target_occupancy),
+            off_fp: cm_fp(cfg.cm_target_occupancy - cfg.cm_hysteresis),
+            cap_sum: vec![0; routers],
+            free: vec![0; routers],
+            inv: vec![0; routers],
+        }
+    }
+
+    /// Recompute the incremental credit sums from the routers' actual
+    /// credit state. Called at construction and after a snapshot restore;
+    /// between calls the three credit-mutation sites keep `free` exact.
+    fn rebuild_free(&mut self, routers: &[RouterStore]) {
+        for (ridx, store) in routers.iter().enumerate() {
+            let mut cap_sum = 0u64;
+            let mut free = 0u64;
+            for out in &store.outputs {
+                cap_sum += out.capacity.iter().map(|&c| u64::from(c)).sum::<u64>();
+                free += out.credits.iter().map(|&c| u64::from(c)).sum::<u64>();
+            }
+            self.cap_sum[ridx] = cap_sum;
+            self.free[ridx] = free;
+            debug_assert!(
+                cap_sum < 1 << 17,
+                "cap_sum {cap_sum} outside the reciprocal exactness bound"
+            );
+            self.inv[ridx] = cm_inv(cap_sum);
+        }
+    }
+}
+
+/// The magic reciprocal of `d` for the CM sensor's exact multiply-shift
+/// division (0 when `d == 0`, where the sensed occupancy is defined as
+/// 0). See [`CM_INV_SHIFT`] for the exactness argument.
+fn cm_inv(d: u64) -> u64 {
+    if d == 0 {
+        0
+    } else {
+        (1u64 << CM_INV_SHIFT).div_ceil(d)
+    }
+}
+
+/// Convert a validated CM fraction in `[0, 1]` to `CM_CONG_ONE` fixed
+/// point. Deterministic: one rounding mode, no platform-dependent math.
+fn cm_fp(frac: f64) -> u32 {
+    (frac * f64::from(CM_CONG_ONE)) as u32
+}
+
 impl<P: Policy> Network<P> {
     /// Build a network with the default escape-ring choice implied by
     /// `cfg.ring`.
@@ -112,12 +238,23 @@ impl<P: Policy> Network<P> {
         );
         let nr = fab.topo().num_routers();
         let nodes = fab.topo().num_nodes();
-        let routers = (0..nr)
+        let routers: Vec<RouterStore> = (0..nr)
             .map(|r| RouterStore::new(&fab, RouterId::from(r)))
             .collect();
         let n_in = fab.n_in();
         let n_out = fab.n_out();
         let llr = (fab.cfg().ber > 0.0).then(|| Llr::new(&fab, fab.cfg().seed));
+        let cm = fab.cfg().cm_enabled.then(|| {
+            let mut cm = CmState::new(fab.cfg(), nodes, nr);
+            cm.rebuild_free(&routers);
+            cm
+        });
+        let mut stats = Stats::default();
+        if let Some(cm) = &cm {
+            // The initial full buckets count as granted so the token law
+            // `granted − consumed ≡ Σ levels` holds from cycle 0.
+            stats.cm_tokens_granted = cm.tokens.iter().map(|&t| u64::from(t)).sum();
+        }
         Self {
             routers,
             policy,
@@ -125,7 +262,7 @@ impl<P: Policy> Network<P> {
             next_id: 0,
             src_q: vec![VecDeque::new(); nodes],
             inj_busy: vec![0; nodes],
-            stats: Stats::default(),
+            stats,
             delivered_log: None,
             link_phits: None,
             faults: FaultState::new(&fab),
@@ -134,6 +271,8 @@ impl<P: Policy> Network<P> {
             faults_ever: false,
             router_last_grant: vec![0; nr],
             llr,
+            cm,
+            delivered_per_src: vec![0; nodes],
             #[cfg(feature = "audit")]
             auditor: None,
             #[cfg(feature = "mutate")]
@@ -205,6 +344,51 @@ impl<P: Policy> Network<P> {
     #[inline]
     pub fn drained(&self) -> bool {
         self.in_flight() == 0
+    }
+
+    /// Packets delivered per source node since cycle 0 (fairness
+    /// accounting; index = `NodeId::idx()`).
+    #[inline]
+    pub fn per_source_delivered(&self) -> &[u64] {
+        &self.delivered_per_src
+    }
+
+    /// Jain's fairness index of per-source deliveries so far.
+    pub fn jain_fairness(&self) -> f64 {
+        crate::stats::jain_index(&self.delivered_per_src)
+    }
+
+    /// Whether the congestion-management layer is active.
+    #[inline]
+    pub fn cm_active(&self) -> bool {
+        self.cm.is_some()
+    }
+
+    /// Current token-bucket level of `node`'s NIC, in phits (0 when CM
+    /// is disabled).
+    pub fn cm_bucket_phits(&self, node: NodeId) -> f64 {
+        self.cm
+            .as_ref()
+            .map(|cm| f64::from(cm.tokens[node.idx()]) / f64::from(CM_TOKEN_SCALE))
+            .unwrap_or(0.0)
+    }
+
+    /// Smoothed sensed occupancy of `router` in `[0, 1]` (the CM
+    /// estimator the throttle thresholds compare against; 0 when CM is
+    /// disabled).
+    pub fn cm_congestion(&self, router: RouterId) -> f64 {
+        self.cm
+            .as_ref()
+            .map(|cm| f64::from(cm.cong[router.idx()]) / f64::from(CM_CONG_ONE))
+            .unwrap_or(0.0)
+    }
+
+    /// Whether `router`'s NICs are currently in the throttled hysteresis
+    /// state.
+    pub fn cm_throttled(&self, router: RouterId) -> bool {
+        self.cm
+            .as_ref()
+            .is_some_and(|cm| cm.throttled[router.idx()])
     }
 
     /// Start recording one `(generation cycle, latency)` entry per
@@ -656,6 +840,7 @@ impl<P: Policy> Network<P> {
         let fab = &self.fab;
         let llr = &mut self.llr;
         let stats = &mut self.stats;
+        let cm = &mut self.cm;
         #[cfg(feature = "audit")]
         let auditor = &mut self.auditor;
         #[cfg(feature = "mutate")]
@@ -761,6 +946,9 @@ impl<P: Policy> Network<P> {
                     let cap = output.capacity[vc as usize];
                     let c = &mut output.credits[vc as usize];
                     *c += phits;
+                    if let Some(cm) = cm.as_mut() {
+                        cm.free[ridx] += u64::from(phits);
+                    }
                     #[cfg(feature = "mutate")]
                     debug_assert!(mutation.is_some() || *c <= cap, "credit overflow");
                     #[cfg(not(feature = "mutate"))]
@@ -789,13 +977,34 @@ impl<P: Policy> Network<P> {
 
     /// Phase 2: move source-queue heads into injection buffers
     /// (1 phit/cycle per node).
+    ///
+    /// With CM enabled this is also the throttle point: per-router
+    /// occupancy estimators update once per cycle, every NIC bucket
+    /// refills at the rate its router's hysteresis state dictates, and a
+    /// head packet only moves when its bucket holds a packet's worth of
+    /// tokens. Throttling delays `on_inject` only — packets already in
+    /// the fabric are never slowed, so the CDG certificate is untouched.
     // lint:allow(P002, node index and packet size bounded by fabric dimensions) lint:allow(P001, source queue verified non-empty by the loop guard)
     fn inject(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let p = self.fab.cfg().params.p;
+        if self.cm.is_some() {
+            self.cm_sense_and_refill();
+        }
+        #[cfg(feature = "mutate")]
+        let bypass = self.mutation.is_some_and(|m| m.bypass_throttle());
+        #[cfg(not(feature = "mutate"))]
+        let bypass = false;
+        let need = size * CM_TOKEN_SCALE;
         for node in 0..self.src_q.len() {
             if self.inj_busy[node] > now || self.src_q[node].is_empty() {
                 continue;
+            }
+            if let Some(cm) = self.cm.as_ref() {
+                if cm.tokens[node] < need && !bypass {
+                    self.stats.cm_throttle_deferrals += 1;
+                    continue;
+                }
             }
             let router = RouterId::from(node / p);
             let port = self.fab.inj_in(node % p);
@@ -825,6 +1034,106 @@ impl<P: Policy> Network<P> {
                 store.inputs[port].vcs[vc].push(pkt, size);
                 self.inj_busy[node] = now + u64::from(size);
                 self.stats.injected_packets += 1;
+                if let Some(cm) = self.cm.as_mut() {
+                    // `saturating_sub` + full-price accounting: the gate
+                    // above guarantees `tokens >= need`, so the two agree
+                    // — unless the `ThrottleBypass` mutation skipped the
+                    // gate, in which case granted − consumed drifts below
+                    // the summed levels and `ThrottleTokenLaw` fires.
+                    cm.tokens[node] = cm.tokens[node].saturating_sub(need);
+                    self.stats.cm_tokens_consumed += u64::from(need);
+                }
+            }
+        }
+    }
+
+    /// CM per-cycle bookkeeping: update each router's smoothed occupancy
+    /// estimator and hysteresis state, then refill every NIC bucket at
+    /// the rate its router's state dictates. Grants are cap-clamped and
+    /// counted exactly, so `granted − consumed ≡ Σ levels` is an
+    /// identity (the `ThrottleTokenLaw` auditor invariant).
+    fn cm_sense_and_refill(&mut self) {
+        let p = self.fab.cfg().params.p;
+        let healthy = !self.faults.any();
+        let routers = &self.routers;
+        let faults = &self.faults;
+        let Some(cm) = self.cm.as_mut() else { return };
+        let mut throttled_now = 0u64;
+        for (ridx, store) in routers.iter().enumerate() {
+            // Instantaneous occupancy of this router's network outputs
+            // (ejection ports carry no credits and drop out of the sum).
+            // Healthy fast path: `free` is maintained incrementally at
+            // the three credit-mutation sites, so the sensor reads two
+            // integers per router instead of re-scanning every port —
+            // the whole CM layer costs O(routers + nodes) per cycle.
+            let inst = if healthy {
+                let used = cm.cap_sum[ridx].saturating_sub(cm.free[ridx]);
+                // Exact multiply-shift division by the static `cap_sum`
+                // (see `CM_INV_SHIFT`) — no hardware `div` per router.
+                let wide = (u128::from(used) << 16) * u128::from(cm.inv[ridx]);
+                // lint:allow(P002, quotient <= CM_CONG_ONE so it fits u32)
+                let inst = (wide >> CM_INV_SHIFT) as u32;
+                debug_assert_eq!(
+                    u64::from(inst),
+                    (used << 16).checked_div(cm.cap_sum[ridx]).unwrap_or(0),
+                    "reciprocal division diverged from exact division"
+                );
+                inst
+            } else {
+                // Fault-active fallback: a failed link must sense as
+                // fully occupied, which a plain credit sum cannot
+                // express — re-scan the ports while any fault is live
+                // (`FaultState::any` clears again on full recovery).
+                let mut cap_sum = 0u64;
+                let mut used = 0u64;
+                for (port, out) in store.outputs.iter().enumerate() {
+                    let cap: u32 = out.capacity.iter().sum();
+                    if cap == 0 {
+                        continue;
+                    }
+                    cap_sum += u64::from(cap);
+                    if faults.link_up(ridx, port) {
+                        let credits: u32 = out.credits.iter().sum();
+                        used += u64::from(cap - credits);
+                    } else {
+                        used += u64::from(cap);
+                    }
+                }
+                // Cold path: `cap_sum` here differs from the static one
+                // while links are down, so divide for real.
+                (used * u64::from(CM_CONG_ONE))
+                    .checked_div(cap_sum)
+                    // lint:allow(P002, used <= cap_sum so the quotient fits u32)
+                    .map_or(0, |q| q as u32)
+            };
+            // EWMA with α = 1/8: smooth enough to ride out allocator
+            // jitter, fast enough to track a burst front within ~a
+            // packet time. Pure integer — bit-exact across platforms.
+            let smoothed = (u64::from(cm.cong[ridx]) * 7 + u64::from(inst)) / 8;
+            // lint:allow(P002, EWMA of values <= CM_CONG_ONE fits u32)
+            cm.cong[ridx] = smoothed as u32;
+            if cm.throttled[ridx] {
+                if cm.cong[ridx] < cm.off_fp {
+                    cm.throttled[ridx] = false;
+                }
+            } else if cm.cong[ridx] >= cm.on_fp {
+                cm.throttled[ridx] = true;
+            }
+            if cm.throttled[ridx] {
+                throttled_now += 1;
+            }
+        }
+        self.stats.cm_throttled_cycles += throttled_now;
+        // One bucket chunk per router (`p` NICs each): reading the
+        // throttle latch once per chunk keeps the refill free of the
+        // per-node `node / p` division.
+        let (cap, min_rate, full_rate) = (cm.cap, cm.min_rate, cm.full_rate);
+        for (chunk, &throttled) in cm.tokens.chunks_mut(p).zip(cm.throttled.iter()) {
+            let rate = if throttled { min_rate } else { full_rate };
+            for tokens in chunk {
+                let added = rate.min(cap - *tokens);
+                *tokens += added;
+                self.stats.cm_tokens_granted += u64::from(added);
             }
         }
     }
@@ -1199,6 +1508,45 @@ impl<P: Policy> Network<P> {
             }
         }
 
+        // Throttle token conservation: refills are cap-clamped and
+        // counted exactly, debits charge the full packet price, so
+        // granted − consumed must equal the summed bucket levels as an
+        // identity (stated addition-only to stay underflow-safe even
+        // when a seeded bypass makes `consumed` overshoot).
+        if let Some(cm) = &self.cm {
+            checks += 1;
+            let levels: u64 = cm.tokens.iter().map(|&t| u64::from(t)).sum();
+            if self.stats.cm_tokens_granted != self.stats.cm_tokens_consumed + levels {
+                viols.push(AuditViolation::ThrottleTokenLaw {
+                    cycle: now,
+                    granted: self.stats.cm_tokens_granted,
+                    consumed: self.stats.cm_tokens_consumed,
+                    levels,
+                });
+            }
+            // The sensor's incremental free-credit sums against a fresh
+            // scan: drift means a credit moved through a path the three
+            // mirrored mutation sites do not cover, and every throttle
+            // decision after the divergence point is suspect.
+            for (ridx, store) in self.routers.iter().enumerate() {
+                checks += 1;
+                let actual: u64 = store
+                    .outputs
+                    .iter()
+                    .flat_map(|out| out.credits.iter())
+                    .map(|&c| u64::from(c))
+                    .sum();
+                if cm.free[ridx] != actual {
+                    viols.push(AuditViolation::CmSensorDrift {
+                        cycle: now,
+                        router: ridx as u32,
+                        tracked: cm.free[ridx],
+                        actual,
+                    });
+                }
+            }
+        }
+
         let a = self.auditor.as_mut().expect("checked above");
         a.count(checks - viols.len() as u64);
         for v in viols {
@@ -1316,6 +1664,7 @@ impl<P: Policy> Network<P> {
                 let latency = now + u64::from(size) - pkt.injected_at;
                 self.stats.delivered_packets += 1;
                 self.stats.delivered_phits += u64::from(size);
+                self.delivered_per_src[pkt.src.idx()] += 1;
                 self.stats.latency_sum += latency;
                 self.stats.hop_sum += u64::from(pkt.local_hops)
                     + u64::from(pkt.global_hops)
@@ -1354,6 +1703,9 @@ impl<P: Policy> Network<P> {
                 pkt.ring_hops = pkt.ring_hops.saturating_add(1);
                 let out = &mut store.outputs[req.out_port as usize];
                 out.credits[req.out_vc as usize] -= size;
+                if let Some(cm) = self.cm.as_mut() {
+                    cm.free[ridx] -= u64::from(size);
+                }
                 self.transmit(ridx, req, link, pkt, now);
             }
             _ => {
@@ -1367,6 +1719,9 @@ impl<P: Policy> Network<P> {
                 }
                 let out = &mut store.outputs[req.out_port as usize];
                 out.credits[req.out_vc as usize] -= size;
+                if let Some(cm) = self.cm.as_mut() {
+                    cm.free[ridx] -= u64::from(size);
+                }
                 self.transmit(ridx, req, link, pkt, now);
             }
         }
@@ -1750,6 +2105,27 @@ impl<P: Policy> Network<P> {
                 llr.snap_encode(e);
             }
         }
+        // CM + fairness state (format v2). The presence tag must agree
+        // with cfg.cm_enabled — it is written anyway so a corrupted file
+        // fails closed instead of desynchronizing the stream.
+        match &self.cm {
+            None => e.u8(0),
+            Some(cm) => {
+                e.u8(1);
+                for &t in &cm.tokens {
+                    e.u32(t);
+                }
+                for &c in &cm.cong {
+                    e.u32(c);
+                }
+                for &t in &cm.throttled {
+                    e.u8(u8::from(t));
+                }
+            }
+        }
+        for &dps in &self.delivered_per_src {
+            e.u64(dps);
+        }
     }
 
     /// Decode the STATE section into temporaries without touching
@@ -1883,6 +2259,51 @@ impl<P: Policy> Network<P> {
             1 => Some(Llr::snap_decode(d, &self.fab)?),
             _ => return malformed("bad Option tag for LLR"),
         };
+        let cm = match d.u8()? {
+            0 => {
+                if self.fab.cfg().cm_enabled {
+                    return malformed("CM state missing for a cm_enabled config");
+                }
+                None
+            }
+            1 => {
+                if !self.fab.cfg().cm_enabled {
+                    return malformed("CM state present for a cm-disabled config");
+                }
+                let mut cm = CmState::new(self.fab.cfg(), nodes, nr);
+                for t in &mut cm.tokens {
+                    let v = d.u32()?;
+                    if v > cm.cap {
+                        return malformed("bucket level exceeds its capacity");
+                    }
+                    *t = v;
+                }
+                for c in &mut cm.cong {
+                    let v = d.u32()?;
+                    if v > CM_CONG_ONE {
+                        return malformed("congestion estimate above 1.0");
+                    }
+                    *c = v;
+                }
+                for t in &mut cm.throttled {
+                    *t = match d.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return malformed("bad throttled flag"),
+                    };
+                }
+                // The incremental credit sums are derived state:
+                // recompute them from the just-decoded router credits
+                // rather than trusting (or carrying) them in the file.
+                cm.rebuild_free(&routers);
+                Some(cm)
+            }
+            _ => return malformed("bad Option tag for CM state"),
+        };
+        let mut delivered_per_src = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            delivered_per_src.push(d.u64()?);
+        }
         Ok(DecodedState {
             now,
             next_id,
@@ -1898,6 +2319,8 @@ impl<P: Policy> Network<P> {
             link_phits,
             routers,
             llr,
+            cm,
+            delivered_per_src,
         })
     }
 
@@ -1916,6 +2339,8 @@ impl<P: Policy> Network<P> {
         self.link_phits = s.link_phits;
         self.routers = s.routers;
         self.llr = s.llr;
+        self.cm = s.cm;
+        self.delivered_per_src = s.delivered_per_src;
         // Per-cycle scratch is empty at every step boundary; clear it so
         // a restore into a mid-turn network cannot leak stale requests.
         self.effects.clear();
@@ -1950,4 +2375,44 @@ struct DecodedState {
     link_phits: Option<Vec<u64>>,
     routers: Vec<RouterStore>,
     llr: Option<Llr>,
+    cm: Option<CmState>,
+    delivered_per_src: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{cm_inv, CM_INV_SHIFT};
+
+    /// The CM sensor's multiply-shift must agree with true integer
+    /// division over the entire feasible operand range: every divisor
+    /// below the `rebuild_free` bound (`cap_sum < 2^17`), numerators at
+    /// the ends, middle, and around every multiple-of-`d` step where
+    /// `floor` changes value.
+    #[test]
+    fn cm_reciprocal_division_is_exact() {
+        assert_eq!(cm_inv(0), 0);
+        for d in (1u64..1 << 17).chain([(1 << 17) - 1]) {
+            let m = u128::from(cm_inv(d));
+            for used in [
+                0,
+                1,
+                2,
+                d / 3,
+                d / 2,
+                d.saturating_sub(2),
+                d.saturating_sub(1),
+                d,
+            ] {
+                let n = used << 16;
+                let exact = n / d;
+                let magic = ((u128::from(n) * m) >> CM_INV_SHIFT) as u64;
+                assert_eq!(magic, exact, "d={d} used={used}");
+                // Off-by-one probes around the quotient step.
+                for n in [n.saturating_sub(1), n + 1] {
+                    let magic = ((u128::from(n) * m) >> CM_INV_SHIFT) as u64;
+                    assert_eq!(magic, n / d, "d={d} n={n}");
+                }
+            }
+        }
+    }
 }

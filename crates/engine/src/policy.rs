@@ -158,6 +158,66 @@ impl<'a> RouterView<'a> {
             .max_by_key(|&(port, vc)| self.credits(port, vc))
     }
 
+    /// Credit-estimated congestion of this router's *network* outputs
+    /// (local, global and ring links; ejection ports are infinite sinks
+    /// and excluded), aggregated over all VCs, in `[0, 1]`. This is the
+    /// congestion-management layer's per-router sensor: purely local
+    /// (OFAR's §IV premise — no remote sensing), derived from the same
+    /// credit state the misroute thresholds read. A failed link senses
+    /// as fully occupied, exactly like [`NetSnapshot::global_out_occupancy`].
+    pub fn local_congestion(&self) -> f64 {
+        let mut cap_sum = 0u64;
+        let mut used = 0u64;
+        for (port, out) in self.outputs.iter().enumerate() {
+            if out.credits.is_empty() {
+                continue; // ejection port: no downstream buffer to fill
+            }
+            let cap: u32 = out.capacity.iter().sum();
+            if cap == 0 {
+                continue;
+            }
+            cap_sum += u64::from(cap);
+            if self.link_up(port) {
+                let credits: u32 = out.credits.iter().sum();
+                used += u64::from(cap - credits);
+            } else {
+                used += u64::from(cap);
+            }
+        }
+        if cap_sum == 0 {
+            0.0
+        } else {
+            used as f64 / cap_sum as f64
+        }
+    }
+
+    /// Credit-estimated occupancy of this router's escape outputs across
+    /// all *surviving* rings, in `[0, 1]` (0 when no ring is configured
+    /// or every ring is dead). The escape-ring admission guard compares
+    /// this against its threshold: a ring sensed nearly full is being
+    /// used as a congestion sink, not an emergency escape.
+    pub fn sensed_ring_occupancy(&self) -> f64 {
+        let mut cap_sum = 0u64;
+        let mut used = 0u64;
+        for (ring, esc) in self.escapes().iter().enumerate() {
+            if !self.ring_up(ring) {
+                continue;
+            }
+            let port = esc.out_port as usize;
+            for vc in esc.base_vc..esc.base_vc + esc.num_vcs {
+                let vc = vc as usize;
+                let cap = self.outputs[port].capacity[vc];
+                cap_sum += u64::from(cap);
+                used += u64::from(cap - self.outputs[port].credits[vc]);
+            }
+        }
+        if cap_sum == 0 {
+            0.0
+        } else {
+            used as f64 / cap_sum as f64
+        }
+    }
+
     /// The escape (port, vc) of one specific ring, with the most
     /// downstream credits among that ring's VCs. `None` for a dead ring.
     pub fn escape_vc_of_ring(&self, ring: usize) -> Option<(usize, usize)> {

@@ -55,7 +55,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"OFARSNAP";
 
 /// Current format version. Bumped on any layout change; older readers
 /// refuse newer files ([`SnapshotError::UnsupportedVersion`]).
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Section tag: canonical configuration + mechanism name.
 pub(crate) const SEC_CONFIG: u8 = 1;
@@ -338,6 +338,10 @@ pub(crate) fn encode_config(cfg: &SimConfig, mechanism: &str) -> Vec<u8> {
     e.u64(cfg.llr_timeout_slack);
     e.u32(cfg.llr_backoff_cap);
     e.u32(cfg.llr_retry_budget);
+    e.u8(u8::from(cfg.cm_enabled));
+    e.f64(cfg.cm_target_occupancy);
+    e.f64(cfg.cm_hysteresis);
+    e.f64(cfg.cm_min_rate);
     e.str(mechanism);
     e.buf
 }
@@ -378,6 +382,14 @@ pub(crate) fn decode_config(data: &[u8]) -> Result<(SimConfig, String), Snapshot
         llr_timeout_slack: d.u64()?,
         llr_backoff_cap: d.u32()?,
         llr_retry_budget: d.u32()?,
+        cm_enabled: match d.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed("unknown cm_enabled flag")),
+        },
+        cm_target_occupancy: d.f64()?,
+        cm_hysteresis: d.f64()?,
+        cm_min_rate: d.f64()?,
     };
     let mech = d.str()?;
     if !d.is_empty() {

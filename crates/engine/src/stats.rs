@@ -62,6 +62,16 @@ pub struct Stats {
     /// Packets ejected more than once (must stay 0 while the link layer
     /// dedups; counted, not asserted, so release runs surface it too).
     pub duplicate_deliveries: u64,
+    /// CM: token-bucket units actually credited to injection buckets
+    /// (cap-clamped, so `granted − consumed ≡ Σ bucket levels` exactly —
+    /// the `ThrottleTokenLaw` auditor invariant).
+    pub cm_tokens_granted: u64,
+    /// CM: token-bucket units debited by successful injections.
+    pub cm_tokens_consumed: u64,
+    /// CM: injection attempts deferred because the bucket was short.
+    pub cm_throttle_deferrals: u64,
+    /// CM: router·cycles spent in the throttled hysteresis state.
+    pub cm_throttled_cycles: u64,
 }
 
 impl Stats {
@@ -115,6 +125,10 @@ impl Stats {
             self.llr_timeouts,
             self.llr_escalations,
             self.duplicate_deliveries,
+            self.cm_tokens_granted,
+            self.cm_tokens_consumed,
+            self.cm_throttle_deferrals,
+            self.cm_throttled_cycles,
         ]
     }
 
@@ -147,12 +161,52 @@ impl Stats {
             self.llr_timeouts,
             self.llr_escalations,
             self.duplicate_deliveries,
+            self.cm_tokens_granted,
+            self.cm_tokens_consumed,
+            self.cm_throttle_deferrals,
+            self.cm_throttled_cycles,
         ] = *c;
     }
 }
 
 /// Number of `u64` counters in [`Stats`] (a snapshot format constant).
-pub const STATS_COUNTERS: usize = 26;
+pub const STATS_COUNTERS: usize = 30;
+
+/// Jain's fairness index over per-source delivery counts:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]` — 1 when every source receives equal
+/// service, `1/n` when a single source monopolizes the network.
+/// Returns 1.0 for an empty or all-zero population (nothing is unfair
+/// about nothing delivered).
+pub fn jain_index(xs: &[u64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().map(|&x| x as f64).sum();
+    let sq_sum: f64 = xs.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq_sum)
+}
+
+/// Histogram of per-source delivery counts in `buckets` equal-width bins
+/// spanning `0..=max(xs)`. The shape of the post-saturation fairness
+/// story: with CM off the mass splits into starved and monopolizing
+/// sources; with CM on it concentrates in the middle bins.
+pub fn source_histogram(xs: &[u64], buckets: usize) -> Vec<u64> {
+    let mut hist = vec![0u64; buckets.max(1)];
+    let max = xs.iter().copied().max().unwrap_or(0);
+    for &x in xs {
+        let idx = if max == 0 {
+            0
+        } else {
+            (((x as u128 * hist.len() as u128) / (max as u128 + 1)) as usize).min(hist.len() - 1)
+        };
+        hist[idx] += 1;
+    }
+    hist
+}
 
 /// A measurement window: the delta of two [`Stats`] snapshots plus the
 /// elapsed cycles, exposing the paper's metrics.
@@ -262,6 +316,34 @@ mod tests {
         assert!((w.throughput() - 2.0).abs() < 1e-12);
         assert!((w.avg_latency() - 200.0).abs() < 1e-12);
         assert!((w.avg_hops() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_bounds_and_extremes() {
+        // Equal service → 1.0.
+        assert!((jain_index(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        // One source monopolizes an n=4 population → 1/4.
+        assert!((jain_index(&[12, 0, 0, 0]) - 0.25).abs() < 1e-12);
+        // Degenerate populations are "fair".
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0, 0]), 1.0);
+        // Always in (0, 1].
+        let j = jain_index(&[1, 2, 3, 4, 100]);
+        assert!(j > 0.0 && j <= 1.0);
+    }
+
+    #[test]
+    fn source_histogram_buckets_by_share() {
+        let h = source_histogram(&[0, 0, 9, 9], 2);
+        assert_eq!(h, vec![2, 2]);
+        // All-zero population lands in the first bin.
+        assert_eq!(source_histogram(&[0, 0, 0], 4), vec![3, 0, 0, 0]);
+        // Total mass is preserved.
+        let xs = [3, 1, 4, 1, 5, 9, 2, 6];
+        assert_eq!(
+            source_histogram(&xs, 3).iter().sum::<u64>(),
+            xs.len() as u64
+        );
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub fn covered(op: MutationOp, mech: MechanismKind) -> bool {
         // Credit-accounting seams die in the runtime auditor.
         EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew => true,
         EngineRingBubbleSkip => mech == K::Ofar,
+        // Congestion-management seams: the bypassed token bucket dies in
+        // the auditor's throttle-token law on every mechanism (the
+        // sustained-overload stage keeps the buckets short for the whole
+        // run); the disabled admission guard dies in the synchronized-
+        // wave admission watchdog.
+        EngineThrottleBypass => true,
+        RingAdmitAlways => mech == K::Ofar,
         // Known survivors: performance-policy skews that keep every
         // safety invariant, and the flag OFAR's per-transition ranking
         // cannot distinguish because the engine re-derives it at every

@@ -19,7 +19,7 @@ use ofar_engine::{
 };
 use ofar_routing::{
     EnumerablePolicy, Mechanism, MechanismKind, MisrouteThreshold, OfarConfig, ProbeFeedback,
-    ProbePin,
+    ProbePin, RingGuard,
 };
 use ofar_topology::GroupId;
 
@@ -71,6 +71,25 @@ impl MutantPolicy {
                 ..OfarConfig::base()
             }),
             MutationOp::ThresholdAdmitNone => Some(OfarConfig {
+                threshold: MisrouteThreshold::Static {
+                    th_min: 0.0,
+                    th_nonmin: -1.0,
+                },
+                ..OfarConfig::base()
+            }),
+            // The guard defect only matters when the ring is actually
+            // under admission pressure: at paper-default patience the
+            // guard is consulted a handful of times per million cycles
+            // at h=2 and its absence is invisible. The mutant therefore
+            // carries the ring-hungriest tuning the real code allows —
+            // minimal patience and a threshold that admits no misroute,
+            // so the ring is the only relief valve — and disables the
+            // guard on top. Its oracle compares against the *same*
+            // tuning with the guard left on (see `oracle.rs`), so the
+            // guard is the only behavioral difference under test.
+            MutationOp::RingAdmitAlways => Some(OfarConfig {
+                ring_guard: RingGuard::Off,
+                ring_patience: 1,
                 threshold: MisrouteThreshold::Static {
                     th_min: 0.0,
                     th_nonmin: -1.0,

@@ -103,6 +103,13 @@ pub enum MutationOp {
     /// OFAR misroute threshold admits no candidate ever: misrouting is
     /// disabled outright.
     ThresholdAdmitNone,
+    /// The escape-ring admission guard is disabled (config-built,
+    /// `RingGuard::Off`): blocked heads enter the ring regardless of its
+    /// sensed occupancy. Past saturation the low-bandwidth ring turns
+    /// into a congestion sink and sustained delivery collapses — caught
+    /// by the overload rate-watchdog, not by any safety oracle (the
+    /// bubble keeps the ring deadlock-free either way).
+    RingAdmitAlways,
 
     // --- declaration mutations ----------------------------------------
     /// All escape-entry edges (`… → escape`) are dropped from the OFAR
@@ -141,6 +148,11 @@ pub enum MutationOp {
     /// Ring entry granted with space for one packet instead of two
     /// ([`ofar_engine::EngineMutation::RingBubbleSkip`]).
     EngineRingBubbleSkip,
+    /// The congestion-management token bucket is ignored at injection
+    /// ([`ofar_engine::EngineMutation::ThrottleBypass`]): the NIC
+    /// injects on a short bucket, so granted − consumed drifts below
+    /// the summed levels and the `ThrottleTokenLaw` deep check fires.
+    EngineThrottleBypass,
 }
 
 impl MutationOp {
@@ -164,6 +176,7 @@ impl MutationOp {
         MutationOp::PbStaleBroadcast,
         MutationOp::ThresholdAdmitAll,
         MutationOp::ThresholdAdmitNone,
+        MutationOp::RingAdmitAlways,
         MutationOp::DeclDropEscapeDrain,
         MutationOp::DeclFlattenLadder,
         MutationOp::DeclBackEdge,
@@ -175,6 +188,7 @@ impl MutationOp {
         MutationOp::EngineCreditDouble,
         MutationOp::EngineEscapeVcSkew,
         MutationOp::EngineRingBubbleSkip,
+        MutationOp::EngineThrottleBypass,
     ];
 
     /// Short stable name (kill-matrix row label, DESIGN.md registry key).
@@ -198,6 +212,7 @@ impl MutationOp {
             MutationOp::PbStaleBroadcast => "pb-stale-broadcast",
             MutationOp::ThresholdAdmitAll => "threshold-admit-all",
             MutationOp::ThresholdAdmitNone => "threshold-admit-none",
+            MutationOp::RingAdmitAlways => "ring-admit-always",
             MutationOp::DeclDropEscapeDrain => "decl-drop-escape-drain",
             MutationOp::DeclFlattenLadder => "decl-flatten-ladder",
             MutationOp::DeclBackEdge => "decl-back-edge",
@@ -209,6 +224,7 @@ impl MutationOp {
             MutationOp::EngineCreditDouble => "engine-credit-double",
             MutationOp::EngineEscapeVcSkew => "engine-escape-vc-skew",
             MutationOp::EngineRingBubbleSkip => "engine-ring-bubble-skip",
+            MutationOp::EngineThrottleBypass => "engine-throttle-bypass",
         }
     }
 
@@ -220,9 +236,8 @@ impl MutationOp {
                 OpCategory::Declaration
             }
             CfgShallowRingBuffer | CfgNoRing | CfgFoldedLadder => OpCategory::Config,
-            EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew | EngineRingBubbleSkip => {
-                OpCategory::Engine
-            }
+            EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew | EngineRingBubbleSkip
+            | EngineThrottleBypass => OpCategory::Engine,
             _ => OpCategory::Policy,
         }
     }
@@ -236,12 +251,13 @@ impl MutationOp {
         use MutationOp::*;
         match self {
             LocalVcFlatten | LocalVcSwap | LocalVcInvert | GlobalVcSwap | EjectNever
-            | DeclDropInject | EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew => true,
+            | DeclDropInject | EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew
+            | EngineThrottleBypass => true,
             // MIN only ever uses global VC 0: flattening is the identity.
             GlobalVcFlatten => kind != K::Min,
             RingRider | ExitBudgetIgnored | RingEager | RingNever | LocalFlagStuck
-            | GlobalFlagStuck | ThresholdAdmitAll | ThresholdAdmitNone | DeclDropEscapeDrain
-            | CfgShallowRingBuffer | CfgNoRing | EngineRingBubbleSkip => {
+            | GlobalFlagStuck | ThresholdAdmitAll | ThresholdAdmitNone | RingAdmitAlways
+            | DeclDropEscapeDrain | CfgShallowRingBuffer | CfgNoRing | EngineRingBubbleSkip => {
                 matches!(kind, K::Ofar | K::OfarL)
             }
             AuxFlagStuck => kind == K::Par,
@@ -282,6 +298,7 @@ impl MutationOp {
             MutationOp::PbStaleBroadcast => "PB congestion broadcast suppressed",
             MutationOp::ThresholdAdmitAll => "misroute threshold admits any occupancy",
             MutationOp::ThresholdAdmitNone => "misroute threshold admits nothing",
+            MutationOp::RingAdmitAlways => "escape-ring admission guard disabled",
             MutationOp::DeclDropEscapeDrain => "declared escape-entry edges removed",
             MutationOp::DeclFlattenLadder => "declared local ladder collapsed to VC 0",
             MutationOp::DeclBackEdge => "cycle-closing back edge added to declaration",
@@ -293,6 +310,7 @@ impl MutationOp {
             MutationOp::EngineCreditDouble => "credit returns periodically doubled",
             MutationOp::EngineEscapeVcSkew => "credit returns land on the wrong VC",
             MutationOp::EngineRingBubbleSkip => "ring entry granted without the bubble",
+            MutationOp::EngineThrottleBypass => "injection token bucket ignored",
         }
     }
 }

@@ -27,7 +27,7 @@ use crate::MutantPolicy;
 use ofar_core::{burst_net, RunConfig, StallKind};
 use ofar_engine::{EngineMutation, Network, Policy, RingMode, SimConfig};
 use ofar_routing::{ClassEdge, ClassId, DependencyDecl, EdgeWhy, MechanismDeps, MechanismKind};
-use ofar_traffic::TrafficSpec;
+use ofar_traffic::{Bernoulli, TrafficGen, TrafficSpec};
 use ofar_verify::{
     certify, certify_decl, conformance_with, OracleKind, OracleVerdict, RankingKind,
 };
@@ -46,6 +46,47 @@ const BURST_DEPTH: usize = 8;
 /// model a *systematically* wrong flow-control implementation, not a
 /// transient upset (PR-level fault injection already covers those).
 const ENGINE_PERIOD: u32 = 1;
+
+/// Offered load of the sustained-overload dynamic stage,
+/// phits/(node·cycle). Well past every mechanism's ADV+1 saturation at
+/// h=2, so router buffers stay congested — and the token buckets stay
+/// short — for the whole run.
+const OVERLOAD_OFFERED: f64 = 0.5;
+
+/// Length of the sustained-overload segment in cycles.
+const OVERLOAD_CYCLES: u64 = 4_000;
+
+/// Rate-watchdog window: every `OVERLOAD_WINDOW` cycles a delivered
+/// delta is compared against its floor.
+const OVERLOAD_WINDOW: u64 = 500;
+
+/// Minimum total packets delivered per window once the pipeline has
+/// filled (the first window is exempt). Every mechanism sustains
+/// several hundred at h=2 under [`OVERLOAD_OFFERED`]; this floor only
+/// exists so the overload stage still carries a liveness check for
+/// operators whose kill comes from the auditor.
+const OVERLOAD_TOTAL_FLOOR: u64 = 150;
+
+/// Packets per node of the synchronized wave driven at the admission
+/// watchdog (see [`wave_admission_verdicts`]).
+const WAVE_DEPTH: usize = 8;
+
+/// Observation horizon of the admission watchdog, in cycles. Matches
+/// [`ofar_routing::RING_GUARD_GRACE`]: the guard's whole effect lives
+/// inside this window — past it, grace expires and guarded admissions
+/// converge with unguarded ones (by design; the bound is what keeps the
+/// liveness argument intact).
+const WAVE_OBSERVE: u64 = 100;
+
+/// Maximum escape-ring entries a guarded OFAR admits within
+/// [`WAVE_OBSERVE`] cycles of the wave. Calibrated at h=2 across seeds
+/// (the wave is closed-loop and nearly seed-invariant): the guard-on
+/// twin of the `ring-admit-always` tuning admits 72 entries — those
+/// made while the ring still sensed below threshold — while the
+/// guard-off mutant admits 171, piling onto a ring it can sense is
+/// already saturated. The cap sits between the two with margin on both
+/// sides.
+const WAVE_ENTRY_CAP: u64 = 120;
 
 /// The verdicts of one mutant against every oracle that ran.
 #[derive(Clone, Debug)]
@@ -155,7 +196,19 @@ fn dynamic_verdicts<P: Policy>(net: &mut Network<P>, seed: u64) -> (OracleVerdic
         .audit
         .or_else(|| net.take_audit_report())
         .unwrap_or_default();
-    let audit = if report.is_clean() {
+    let audit = audit_verdict(report);
+    let watchdog = match result.stall {
+        None => OracleVerdict::Pass,
+        Some(stall) => OracleVerdict::Fail {
+            witness: stall_witness(&stall, result.delivered),
+        },
+    };
+    (audit, watchdog)
+}
+
+/// Verdict of the runtime auditor from its report.
+fn audit_verdict(report: ofar_engine::AuditReport) -> OracleVerdict {
+    if report.is_clean() {
         OracleVerdict::Pass
     } else {
         OracleVerdict::Fail {
@@ -169,13 +222,105 @@ fn dynamic_verdicts<P: Policy>(net: &mut Network<P>, seed: u64) -> (OracleVerdic
                     .unwrap_or_default()
             ),
         }
+    }
+}
+
+/// The sustained-overload dynamic stage for the throttle seam: open-loop
+/// adversarial injection at [`OVERLOAD_OFFERED`] for [`OVERLOAD_CYCLES`]
+/// with the deep auditor enabled, and a per-window delivery-rate
+/// watchdog instead of the burst runner's zero-drain triggers. Returns
+/// `(audit, rate-watchdog)` verdicts.
+fn overload_verdicts<P: Policy>(net: &mut Network<P>, seed: u64) -> (OracleVerdict, OracleVerdict) {
+    net.enable_audit_with_interval(AUDIT_INTERVAL);
+    let topo = *net.fabric().topo();
+    let mut gen = TrafficGen::new(&topo, TrafficSpec::adversarial(1), seed.wrapping_add(1));
+    let mut bern = Bernoulli::new(
+        OVERLOAD_OFFERED,
+        net.cfg().packet_size,
+        seed.wrapping_add(2),
+    );
+    let nodes = net.num_nodes();
+    let mut window_start = 0u64;
+    let mut watchdog = OracleVerdict::Pass;
+    for cycle in 1..=OVERLOAD_CYCLES {
+        bern.cycle(nodes, |src| {
+            let dst = gen.destination(src);
+            net.generate(src, dst);
+        });
+        net.step();
+        if cycle % OVERLOAD_WINDOW == 0 {
+            let delivered = net.stats().delivered_packets;
+            let window = delivered - window_start;
+            window_start = delivered;
+            // The first window is pipeline fill; every later one must
+            // sustain the floor.
+            if cycle > OVERLOAD_WINDOW && window < OVERLOAD_TOTAL_FLOOR {
+                let s = net.stats();
+                watchdog = OracleVerdict::Fail {
+                    witness: format!(
+                        "overload rate-watchdog: {window} delivered in window ending at cycle \
+                         {cycle} (floor {OVERLOAD_TOTAL_FLOOR}); backlog {}",
+                        s.generated_packets - s.delivered_packets
+                    ),
+                };
+                break;
+            }
+        }
+    }
+    let audit = audit_verdict(net.take_audit_report().unwrap_or_default());
+    (audit, watchdog)
+}
+
+/// The admission watchdog for the escape-ring guard: a synchronized
+/// closed-loop wave ([`WAVE_DEPTH`] adversarial packets per node, all
+/// generated at cycle 0) slams every blocked head into the ring at
+/// once, and the ring entries admitted within the guard's grace window
+/// ([`WAVE_OBSERVE`] cycles) are counted against [`WAVE_ENTRY_CAP`].
+///
+/// This is the only window in which the guard is *observable*: a
+/// guard-off OFAR cannot deadlock (the bubble certificate holds either
+/// way) and under sustained overload every head eventually out-waits
+/// the grace bound, so burst watchdogs and steady-state throughput
+/// floors both pass the mutant. What the guard changes is the admission
+/// *transient* — deferring entry while the ring senses saturated, so a
+/// congestion spike cannot convert the escape resource into a sink in
+/// the first place. The wave makes that transient deterministic
+/// (closed-loop, seed-invariant up to destination choice) and the entry
+/// count makes it checkable. The run then continues to
+/// [`OVERLOAD_CYCLES`] so the deep auditor sweeps the drain as well.
+fn wave_admission_verdicts<P: Policy>(
+    net: &mut Network<P>,
+    seed: u64,
+) -> (OracleVerdict, OracleVerdict) {
+    net.enable_audit_with_interval(AUDIT_INTERVAL);
+    let topo = *net.fabric().topo();
+    let mut gen = TrafficGen::new(&topo, TrafficSpec::adversarial(1), seed.wrapping_add(1));
+    for node in 0..net.num_nodes() {
+        for _ in 0..WAVE_DEPTH {
+            let dst = gen.destination(node.into());
+            net.generate(node.into(), dst);
+        }
+    }
+    while net.now() < WAVE_OBSERVE {
+        net.step();
+    }
+    let entries = net.stats().ring_entries;
+    let watchdog = if entries > WAVE_ENTRY_CAP {
+        OracleVerdict::Fail {
+            witness: format!(
+                "admission watchdog: {entries} ring entries within {WAVE_OBSERVE} cycles of the \
+                 wave (cap {WAVE_ENTRY_CAP}) — the ring is being admitted while sensed saturated"
+            ),
+        }
+    } else {
+        OracleVerdict::Pass
     };
-    let watchdog = match result.stall {
-        None => OracleVerdict::Pass,
-        Some(stall) => OracleVerdict::Fail {
-            witness: stall_witness(&stall, result.delivered),
-        },
-    };
+    while net.now() < OVERLOAD_CYCLES
+        && net.stats().delivered_packets < net.stats().generated_packets
+    {
+        net.step();
+    }
+    let audit = audit_verdict(net.take_audit_report().unwrap_or_default());
     (audit, watchdog)
 }
 
@@ -198,6 +343,9 @@ fn stall_witness(stall: &StallKind, delivered: u64) -> String {
             "livelock: {} stalled routers, {delivered} delivered",
             stalled_routers.len()
         ),
+        StallKind::Saturation { backlog, .. } => {
+            format!("saturation: {backlog} backlog, {delivered} delivered")
+        }
     }
 }
 
@@ -245,6 +393,15 @@ pub fn run_mutant(
             verdicts.push((OracleKind::Conformance, conf));
         }
         OpCategory::Policy => {
+            // The admission-guard defect is only observable when the
+            // congestion-management layer that owns the guard is
+            // actually on; the other policy mutants run the plain
+            // configuration their mechanisms ship with.
+            let cfg = if op == MutationOp::RingAdmitAlways {
+                cfg.with_cm()
+            } else {
+                cfg
+            };
             let decl = kind.dependency_decl(&cfg);
             let conf =
                 match conformance_with(&cfg, MutantPolicy::new(op, kind, &cfg, 0), decl, rank) {
@@ -255,11 +412,34 @@ pub fn run_mutant(
                 };
             verdicts.push((OracleKind::Conformance, conf));
             let mut net = Network::new(cfg, MutantPolicy::new(op, kind, &cfg, seed));
-            let (audit, watchdog) = dynamic_verdicts(&mut net, seed);
+            let (audit, watchdog) = if op == MutationOp::RingAdmitAlways {
+                // Guard-off OFAR is deadlock-free (the bubble holds), so
+                // the closed-loop burst cannot kill it; the wave
+                // admission watchdog can.
+                wave_admission_verdicts(&mut net, seed)
+            } else {
+                dynamic_verdicts(&mut net, seed)
+            };
             verdicts.push((OracleKind::Audit, audit));
             verdicts.push((OracleKind::Watchdog, watchdog));
         }
         OpCategory::Engine => {
+            // The throttle-bypass seam is dead code unless the token
+            // bucket is live and actually runs dry: congestion
+            // management on, with a sensing target low enough that the
+            // adversarial burst throttles routers within a few EWMA
+            // steps. Once a bucket is short, the bypassed injection
+            // still pays full price into `cm_tokens_consumed` and the
+            // token law breaks at the next deep audit.
+            let cfg = if op == MutationOp::EngineThrottleBypass {
+                let mut c = cfg.with_cm();
+                c.cm_target_occupancy = 0.05;
+                c.cm_hysteresis = 0.02;
+                c.cm_min_rate = 0.05;
+                c
+            } else {
+                cfg
+            };
             // The bubble-skip defect only bites when ring entries are
             // actually attempted against depleted escape credits, so
             // that mutant gets the most hostile tuning the real OFAR
@@ -288,7 +468,15 @@ pub fn run_mutant(
             };
             let mut net = Network::new(cfg, policy);
             net.set_engine_mutation(Some(engine_mutation(op)));
-            let (audit, watchdog) = dynamic_verdicts(&mut net, seed);
+            // The token law only has something to say while buckets run
+            // dry, which a drained burst stops exercising after a few
+            // hundred cycles — the throttle seam gets the sustained
+            // stage instead.
+            let (audit, watchdog) = if op == MutationOp::EngineThrottleBypass {
+                overload_verdicts(&mut net, seed)
+            } else {
+                dynamic_verdicts(&mut net, seed)
+            };
             verdicts.push((OracleKind::Audit, audit));
             verdicts.push((OracleKind::Watchdog, watchdog));
         }
@@ -313,6 +501,7 @@ fn engine_mutation(op: MutationOp) -> EngineMutation {
             period: ENGINE_PERIOD,
         },
         MutationOp::EngineRingBubbleSkip => EngineMutation::RingBubbleSkip,
+        MutationOp::EngineThrottleBypass => EngineMutation::ThrottleBypass,
         _ => unreachable!("{} is not an engine operator", op.name()),
     }
 }
@@ -328,6 +517,64 @@ mod tests {
         let (oracle, witness) = out.killed_by().expect("ring-less OFAR must be refused");
         assert_eq!(oracle, OracleKind::Cdg);
         assert!(!witness.is_empty());
+    }
+
+    #[test]
+    fn throttle_bypass_dies_in_the_token_law() {
+        let cfg = SimConfig::paper(2);
+        let out = run_mutant(
+            MutationOp::EngineThrottleBypass,
+            MechanismKind::Ofar,
+            &cfg,
+            7,
+        );
+        let (oracle, witness) = out.killed_by().expect("bypassed bucket must be caught");
+        assert_eq!(oracle, OracleKind::Audit);
+        assert!(witness.contains("throttle token law"), "witness: {witness}");
+    }
+
+    #[test]
+    fn ring_admit_always_dies_in_the_admission_watchdog() {
+        let cfg = SimConfig::paper(2);
+        let out = run_mutant(MutationOp::RingAdmitAlways, MechanismKind::Ofar, &cfg, 7);
+        let (oracle, witness) = out
+            .killed_by()
+            .expect("guard-off admissions must be caught");
+        assert_eq!(oracle, OracleKind::Watchdog);
+        assert!(witness.contains("admission watchdog"), "witness: {witness}");
+    }
+
+    #[test]
+    fn the_guarded_twin_passes_the_admission_watchdog() {
+        // Honesty anchor for the admission watchdog: the mutant's exact
+        // ring-hungry tuning with the guard left *on* (what `Auto`
+        // resolves to under CM) must clear the same wave cap — the
+        // guard really is the only difference the oracle sees.
+        use ofar_routing::{MisrouteThreshold, OfarConfig, RingGuard, RING_GUARD_DEFAULT};
+        let cfg = MechanismKind::Ofar
+            .adapt_config(SimConfig::paper(2))
+            .with_cm();
+        let twin = MechanismKind::Ofar.build_tuned(
+            &cfg,
+            7,
+            Some(OfarConfig {
+                ring_guard: RingGuard::Threshold(RING_GUARD_DEFAULT),
+                ring_patience: 1,
+                threshold: MisrouteThreshold::Static {
+                    th_min: 0.0,
+                    th_nonmin: -1.0,
+                },
+                ..OfarConfig::base()
+            }),
+            None,
+        );
+        let mut net = Network::new(cfg, twin);
+        let (audit, watchdog) = wave_admission_verdicts(&mut net, 7);
+        assert!(matches!(audit, OracleVerdict::Pass), "audit: {audit:?}");
+        assert!(
+            matches!(watchdog, OracleVerdict::Pass),
+            "watchdog: {watchdog:?}"
+        );
     }
 
     #[test]

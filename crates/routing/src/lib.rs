@@ -33,7 +33,9 @@ pub use common::VcLadder;
 pub use deps::{ClassEdge, ClassId, DependencyDecl, EdgeWhy, MechanismDeps};
 pub use mechanism::{Mechanism, MechanismKind};
 pub use minimal::MinPolicy;
-pub use ofar::{MisrouteThreshold, OfarConfig, OfarPolicy};
+pub use ofar::{
+    MisrouteThreshold, OfarConfig, OfarPolicy, RingGuard, RING_GUARD_DEFAULT, RING_GUARD_GRACE,
+};
 pub use par::{par_config, ParConfig, ParPolicy};
 pub use pb::{PbConfig, PbPolicy};
 pub use probe::{EnumerablePolicy, ProbeFeedback, ProbePin};

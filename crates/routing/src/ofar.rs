@@ -98,6 +98,48 @@ impl MisrouteThreshold {
     }
 }
 
+/// Congestion-management protection of the escape ring: whether (and at
+/// what sensed occupancy) ring entry is deferred beyond the plain
+/// patience window. §VI shows the ring is a shared low-bandwidth
+/// resource — past saturation it turns from emergency escape into a
+/// congestion sink unless admission is protected.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum RingGuard {
+    /// Follow the engine configuration: guard at
+    /// [`RING_GUARD_DEFAULT`] when `SimConfig::cm_enabled`, off
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Never guard (pre-CM behavior; also the `RingAdmitAlways`
+    /// mutation-testing defect).
+    Off,
+    /// Always guard at this sensed-ring-occupancy threshold in `(0, 1]`.
+    Threshold(f64),
+}
+
+/// Sensed-ring-occupancy threshold used by [`RingGuard::Auto`] when the
+/// congestion-management layer is enabled.
+///
+/// Calibrated against the sensor, not picked as an abstract fraction:
+/// `RouterView::sensed_ring_occupancy` aggregates this router's escape
+/// output credits over all ring VCs, so at the paper h=2 configuration
+/// (three 32-phit ring VCs, 8-phit packets) a single queued packet
+/// senses as ≈0.08 and the bubble precondition itself keeps admissible
+/// entries below ≈0.83. A threshold of 0.1 therefore means "defer while
+/// more than one packet is already queued on this router's escape
+/// output" — the highest signal the sensor can show at a moment when
+/// entry is still admissible. Fractions like 0.75 are sensed only in
+/// transients the bubble already blocks, making a guard there inert.
+pub const RING_GUARD_DEFAULT: f64 = 0.1;
+
+/// Extra head-blocked cycles a guarded packet waits past `ring_patience`
+/// before the guard yields unconditionally. The bound keeps the §IV-C
+/// liveness argument intact: entry is deferred, never denied, and the
+/// ranking potentials of the certificate still strictly decrease once
+/// the grace expires (`wait` saturates at `u8::MAX`, which always
+/// reaches the capped bound).
+pub const RING_GUARD_GRACE: u16 = 100;
+
 /// OFAR tunables.
 #[derive(Clone, Copy, Debug)]
 pub struct OfarConfig {
@@ -112,6 +154,8 @@ pub struct OfarConfig {
     /// inputs in LRS turns, so only packets stuck well beyond one full
     /// arbitration rotation ask for the escape ring.
     pub ring_patience: u16,
+    /// Escape-ring admission protection (congestion management).
+    pub ring_guard: RingGuard,
 }
 
 impl OfarConfig {
@@ -121,6 +165,7 @@ impl OfarConfig {
             threshold: MisrouteThreshold::paper_default(),
             local_misroute: true,
             ring_patience: 100,
+            ring_guard: RingGuard::Auto,
         }
     }
 
@@ -139,6 +184,9 @@ pub struct OfarPolicy {
     ladder: VcLadder, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     vcs_injection: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     ofar: OfarConfig,
+    /// Resolved ring-guard threshold (`None` = unguarded); derived from
+    /// `ofar.ring_guard` and `cfg.cm_enabled` at construction.
+    guard: Option<f64>, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     rng: SmallRng,
     probe: ProbeState, // lint:allow(S001, probe telemetry; diagnostic counters deliberately reset on restore)
 }
@@ -156,13 +204,50 @@ impl OfarPolicy {
 
     /// Explicit tunables (threshold ablations).
     pub fn with_config(cfg: &SimConfig, seed: u64, ofar: OfarConfig) -> Self {
+        let guard = match ofar.ring_guard {
+            RingGuard::Auto => cfg.cm_enabled.then_some(RING_GUARD_DEFAULT),
+            RingGuard::Off => None,
+            RingGuard::Threshold(th) => Some(th),
+        };
         Self {
             ladder: VcLadder::new(cfg.vcs_local, cfg.vcs_global),
             vcs_injection: cfg.vcs_injection,
             ofar,
+            guard,
             rng: SmallRng::seed_from_u64(seed ^ 0x0FA2), // "OFAR"
             probe: ProbeState::default(),
         }
+    }
+
+    /// Whether the escape-ring admission guard is active, and at what
+    /// sensed-occupancy threshold.
+    pub fn ring_guard_threshold(&self) -> Option<f64> {
+        self.guard
+    }
+
+    /// §IV-C last-resort gate, congestion-management aware: true once
+    /// the packet has been head-blocked past `ring_patience` — except
+    /// that with the ring guard active and the local escape outputs
+    /// sensed above the guard threshold, entry is deferred for up to
+    /// [`RING_GUARD_GRACE`] further cycles. The deferral is *bounded*:
+    /// past the grace (or once `wait` saturates) the packet enters
+    /// regardless of occupancy, so the certificate's ranking potentials
+    /// still strictly decrease and no packet is denied its escape.
+    fn ring_entry_due(&self, view: &RouterView<'_>, wait: u8) -> bool {
+        let patience = self.ofar.ring_patience.min(u16::from(u8::MAX));
+        let w = u16::from(wait);
+        if w < patience {
+            return false;
+        }
+        if let Some(th) = self.guard {
+            let grace_end = patience
+                .saturating_add(RING_GUARD_GRACE)
+                .min(u16::from(u8::MAX));
+            if w < grace_end && view.sensed_ring_occupancy() > th {
+                return false;
+            }
+        }
+        true
     }
 
     /// Whether local misrouting is enabled (base OFAR vs OFAR-L).
@@ -324,7 +409,7 @@ impl OfarPolicy {
         if let Some(port) = self.pick_candidate(view, ports, lvc, usize::MAX, |_| true) {
             return Some(Request::new(port, lvc, RequestKind::MisrouteLocal));
         }
-        if u16::from(pkt.wait) >= self.ofar.ring_patience.min(u16::from(u8::MAX)) {
+        if self.ring_entry_due(view, pkt.wait) {
             if let Some((port, vc)) = view.best_escape_vc() {
                 return Some(Request::new(port, vc, RequestKind::RingEnter));
             }
@@ -412,7 +497,7 @@ impl Policy for OfarPolicy {
             // Every global port busy or out of credits: wait here
             // (re-evaluated next cycle), with the escape ring as the
             // patience-bounded backstop.
-            if u16::from(pkt.wait) >= self.ofar.ring_patience.min(u16::from(u8::MAX)) {
+            if self.ring_entry_due(view, pkt.wait) {
                 if let Some((port, vc)) = view.best_escape_vc() {
                     return Some(Request::new(port, vc, RequestKind::RingEnter));
                 }
@@ -490,7 +575,7 @@ impl Policy for OfarPolicy {
         // source-group local misroutes can close VC cycles — escape
         // within ~patience cycles. See the `ablation_patience` bench for
         // the sensitivity study behind the default. ---
-        if u16::from(pkt.wait) >= self.ofar.ring_patience.min(u16::from(u8::MAX))
+        if self.ring_entry_due(view, pkt.wait)
             && view.credits(min_port, min_vc) < view.packet_phits()
         {
             if let Some((port, vc)) = view.best_escape_vc() {
@@ -615,6 +700,88 @@ mod tests {
         assert!(
             s.local_misroutes + s.global_misroutes > 0,
             "OFAR must adapt under adversarial pressure"
+        );
+    }
+
+    #[test]
+    fn ring_guard_resolution_follows_config() {
+        let base = cfg();
+        let cm = cfg().with_cm();
+        // Auto follows cm_enabled.
+        let auto = OfarConfig::base();
+        assert_eq!(
+            OfarPolicy::with_config(&base, 1, auto).ring_guard_threshold(),
+            None
+        );
+        assert_eq!(
+            OfarPolicy::with_config(&cm, 1, auto).ring_guard_threshold(),
+            Some(RING_GUARD_DEFAULT)
+        );
+        // Off wins even with CM on; an explicit threshold wins even
+        // without it.
+        let off = OfarConfig {
+            ring_guard: RingGuard::Off,
+            ..OfarConfig::base()
+        };
+        assert_eq!(
+            OfarPolicy::with_config(&cm, 1, off).ring_guard_threshold(),
+            None
+        );
+        let th = OfarConfig {
+            ring_guard: RingGuard::Threshold(0.5),
+            ..OfarConfig::base()
+        };
+        assert_eq!(
+            OfarPolicy::with_config(&base, 1, th).ring_guard_threshold(),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn ring_guard_defers_but_never_denies_entry() {
+        // A guard threshold below zero treats the ring as always
+        // congested, so every admission is deferred exactly the grace:
+        // a guarded patience-1 policy must behave *identically* to an
+        // unguarded policy with patience 1 + RING_GUARD_GRACE, and both
+        // must still reach the ring (liveness) — just later than the
+        // unguarded patience-1 baseline (deferral). Misrouting is
+        // disabled so head blocking accumulates.
+        let cfg = cfg();
+        let run = |patience: u16, guard: RingGuard| {
+            let ofar = OfarConfig {
+                ring_patience: patience,
+                ring_guard: guard,
+                threshold: MisrouteThreshold::Static {
+                    th_min: 0.0,
+                    th_nonmin: -1.0,
+                },
+                ..OfarConfig::base()
+            };
+            let mut net = Network::new(cfg, OfarPolicy::with_config(&cfg, 7, ofar));
+            let per_group = cfg.params.a * cfg.params.p;
+            for cycle in 0..6000u64 {
+                if cycle % 4 == 0 {
+                    for n in 0..per_group {
+                        net.generate(NodeId::from(n), NodeId::from(per_group + n));
+                    }
+                }
+                net.step();
+            }
+            assert!(net.stats().delivered_packets > 100);
+            (net.stats().ring_entries, net.stats().delivered_packets)
+        };
+        let eager = run(1, RingGuard::Off);
+        let guarded = run(1, RingGuard::Threshold(-1.0));
+        let patient = run(1 + RING_GUARD_GRACE, RingGuard::Off);
+        assert!(eager.0 > 0, "unguarded patience-1 OFAR must use the ring");
+        assert!(guarded.0 > 0, "guard grace must still admit ring entries");
+        assert!(
+            guarded.0 < eager.0,
+            "guard must defer admissions: {guarded:?} vs {eager:?}"
+        );
+        assert_eq!(
+            guarded, patient,
+            "always-on guard must equal patience+grace exactly"
         );
     }
 }

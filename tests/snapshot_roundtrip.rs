@@ -22,8 +22,19 @@ struct Harness {
 
 impl Harness {
     fn new(kind: MechanismKind, seed: u64, ber: f64, faults: bool) -> Self {
+        Self::build(kind, seed, ber, faults, false)
+    }
+
+    /// `cm: true` enables the congestion-management layer and swaps the
+    /// traffic for an overload (ADV+1 at 0.8 phits/node/cycle), so the
+    /// snapshot is taken with hot EWMA sensors, short token buckets and
+    /// an engaged ring guard — the CM state a resume must carry exactly.
+    fn build(kind: MechanismKind, seed: u64, ber: f64, faults: bool, cm: bool) -> Self {
         let mut cfg = SimConfig::paper(H).with_seed(seed);
         cfg.ber = ber;
+        if cm {
+            cfg = cfg.with_cm();
+        }
         let cfg = kind.adapt_config(cfg);
         let mut net = Network::new(cfg, kind.build(&cfg, seed));
         net.enable_delivery_log();
@@ -38,8 +49,14 @@ impl Harness {
             );
             net.set_fault_plan(plan);
         }
-        let gen = TrafficGen::new(&topo, TrafficSpec::mix2(H), seed + 1);
-        let bern = Bernoulli::new(0.3, cfg.packet_size, seed + 2);
+        let spec = if cm {
+            TrafficSpec::adversarial(1)
+        } else {
+            TrafficSpec::mix2(H)
+        };
+        let load = if cm { 0.8 } else { 0.3 };
+        let gen = TrafficGen::new(&topo, spec, seed + 1);
+        let bern = Bernoulli::new(load, cfg.packet_size, seed + 2);
         Self { net, gen, bern }
     }
 
@@ -99,6 +116,40 @@ fn assert_resume_bit_exact(kind: MechanismKind, seed: u64, n: u64, m: u64, ber: 
     );
 }
 
+/// Same contract with the congestion-management layer on: the snapshot
+/// is taken mid-overload, so the occupancy EWMAs, per-NIC token-bucket
+/// levels, hysteresis latches and ring-guard wait counters must all
+/// round-trip bit-exactly or the resumed throttle decisions diverge.
+fn assert_cm_resume_bit_exact(kind: MechanismKind, seed: u64, n: u64, m: u64) {
+    let mut reference = Harness::build(kind, seed, 0.0, false, true);
+    reference.drive(n + m);
+    let want = reference.signature();
+
+    let mut first = Harness::build(kind, seed, 0.0, false, true);
+    first.drive(n);
+    assert!(
+        first.net.stats().cm_throttle_deferrals > 0,
+        "{kind}: split point must land mid-throttle or the test is vacuous"
+    );
+    let bytes = first.net.save_snapshot();
+
+    let mut resumed = Harness::build(kind, seed, 0.0, false, true);
+    resumed
+        .net
+        .restore_snapshot(&bytes)
+        .unwrap_or_else(|e| panic!("{kind}: restore failed: {e}"));
+    resumed.gen.set_rng_state(first.gen.rng_state());
+    resumed.bern.set_rng_state(first.bern.rng_state());
+    resumed.drive(m);
+    let got = resumed.signature();
+
+    assert_eq!(want.0, got.0, "{kind}: CM counters diverge after resume");
+    assert_eq!(
+        want.1, got.1,
+        "{kind}: CM delivery stream diverges after resume"
+    );
+}
+
 #[test]
 fn resume_is_bit_exact_for_every_mechanism() {
     for kind in MechanismKind::paper_set() {
@@ -107,6 +158,17 @@ fn resume_is_bit_exact_for_every_mechanism() {
         // and in-flight LLR replay buffers.
         assert_resume_bit_exact(kind, 17, 600, 700, 2e-5);
     }
+}
+
+#[test]
+fn resume_is_bit_exact_with_congestion_management() {
+    // OFAR adds the ring-guard wait state on top of the shared
+    // bucket/EWMA machinery but spreads occupancy well enough that its
+    // sensors only cross the throttle target around cycle 1800 at this
+    // load; VAL congests its randomized middle hops within 750 cycles.
+    // Both split mid-overload (deferrals > 0 is asserted).
+    assert_cm_resume_bit_exact(MechanismKind::Ofar, 29, 2_000, 600);
+    assert_cm_resume_bit_exact(MechanismKind::Valiant, 31, 800, 600);
 }
 
 #[test]
