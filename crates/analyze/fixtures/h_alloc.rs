@@ -4,6 +4,7 @@
 
 impl Network {
     pub fn step(&mut self) {
+        // ofar-lint: phase(all, commit)
         self.advance();
     }
 

@@ -1,0 +1,19 @@
+// R005 fixture: an iteration-order-sensitive fold over a sharded
+// collection inside a commit phase — exactly the reduction that stops
+// being reproducible once sharding changes enumeration order.
+
+impl Network {
+    pub fn step(&mut self) {
+        // ofar-lint: phase(route, parallel)
+        for ridx in 0..self.routers.len() {
+            self.free[ridx] -= 1;
+        }
+        // ofar-lint: phase(settle, commit)
+        self.settle();
+    }
+
+    fn settle(&mut self) {
+        let sum = self.routers.iter().fold(0u64, |acc, r| acc + r.load); // lint:expect(R005)
+        self.watermark = sum;
+    }
+}

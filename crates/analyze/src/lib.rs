@@ -2,11 +2,16 @@
 //! simulator, exposed through the `ofar-lint` binary.
 //!
 //! The analyzer gates the planned group-parallel engine rewrite
-//! (ROADMAP item 1) on four mechanically-checked contracts:
+//! (ROADMAP item 1) on five mechanically-checked contracts:
 //! determinism (D rules), hot-path allocation freedom (H rules),
-//! snapshot completeness (S rules) and release-panic freedom (P rules).
-//! See [`rules::CATALOG`] for the full rule list and DESIGN.md §13 for
-//! the rationale and suppression workflow.
+//! snapshot completeness (S rules), release-panic freedom (P rules)
+//! and phase discipline (R rules — the cycle loop of `Network::step`
+//! is segmented into declared phases and each parallel phase is proved
+//! free of cross-router writes). The R family additionally emits the
+//! parallelization contract (`results/phase-contract.json`) the
+//! parallel engine consumes; see [`contract`]. See [`rules::CATALOG`]
+//! for the full rule list and DESIGN.md §13/§15 for the rationale and
+//! suppression workflow.
 //!
 //! The pipeline is entirely hand-rolled — the build environment vendors
 //! no parsing or serialization crates:
@@ -26,12 +31,15 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod baseline;
+pub mod contract;
 pub mod corpus;
 pub mod graph;
 pub mod json;
 pub mod lexer;
 pub mod parse;
+pub mod phases;
 pub mod report;
 pub mod rules;
 pub mod suppress;
@@ -64,6 +72,9 @@ pub struct Analysis {
     /// All findings, suppressed ones included, sorted by
     /// (file, line, rule).
     pub findings: Vec<Finding>,
+    /// The rendered parallelization contract, when the workspace has a
+    /// phase root (`None` for corpora without a `Network::step`).
+    pub contract: Option<String>,
 }
 
 impl Analysis {
@@ -86,6 +97,8 @@ pub fn analyze_sources(
     let graph = CallGraph::build(&files);
     let reachable = graph.reachable(&files, &cfg.hot_roots);
     let mut findings = rules::run(&files, cfg, &reachable);
+    let (rfinds, phase_info) = phases::analyze(&files, &graph, cfg);
+    findings.extend(rfinds);
     let mut extra = Vec::new();
 
     // Inline suppressions: a well-formed `lint:allow` claims matching
@@ -159,9 +172,11 @@ pub fn analyze_sources(
             .then(a.line.cmp(&b.line))
             .then(a.rule.cmp(b.rule))
     });
+    let contract = phase_info.map(|info| contract::render(&info, &findings));
     Analysis {
         files_scanned: files.len(),
         findings,
+        contract,
     }
 }
 

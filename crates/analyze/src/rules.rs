@@ -44,6 +44,16 @@ pub const RULE_HOT_PANIC: &str = "P001";
 pub const RULE_TRUNCATING_CAST: &str = "P002";
 /// P003: panicking indexing in the conservation counters.
 pub const RULE_COUNTER_INDEXING: &str = "P003";
+/// R001: cross-shard write outside a commit phase.
+pub const RULE_PHASE_CROSS_WRITE: &str = "R001";
+/// R002: foreign-shard read racing a same-phase local write.
+pub const RULE_PHASE_READ_RACE: &str = "R002";
+/// R003: shared-accumulator mutation outside a reduction-safe sink.
+pub const RULE_PHASE_ACCUM: &str = "R003";
+/// R004: phase-marker coverage gap in the phase root.
+pub const RULE_PHASE_GAP: &str = "R004";
+/// R005: order-sensitive fold over sharded state in a commit phase.
+pub const RULE_PHASE_FOLD: &str = "R005";
 /// A001: malformed suppression (missing rule or reason).
 pub const RULE_BAD_SUPPRESSION: &str = "A001";
 /// A002: suppression that suppresses nothing.
@@ -105,6 +115,34 @@ pub const CATALOG: &[(&str, &str)] = &[
          readout must be total",
     ),
     (
+        RULE_PHASE_CROSS_WRITE,
+        "cross-shard write in a parallel phase: another shard's state is \
+         mutated outside a declared commit phase, so sharded evaluation \
+         would race",
+    ),
+    (
+        RULE_PHASE_READ_RACE,
+        "foreign-shard read in a parallel phase of a field the same \
+         phase writes locally: the value observed depends on shard \
+         scheduling",
+    ),
+    (
+        RULE_PHASE_ACCUM,
+        "shared-accumulator mutation in a parallel phase not routed \
+         through a reduction-safe sink operation",
+    ),
+    (
+        RULE_PHASE_GAP,
+        "phase-marker coverage gap: per-cycle statements must belong to \
+         a declared `// ofar-lint: phase(…)` region of the phase root",
+    ),
+    (
+        RULE_PHASE_FOLD,
+        "iteration-order-sensitive fold over router/link collections in \
+         a commit phase: the result changes when sharding changes \
+         enumeration order",
+    ),
+    (
         RULE_BAD_SUPPRESSION,
         "malformed lint:allow — every suppression names a rule and \
          carries a non-empty reason",
@@ -159,14 +197,22 @@ pub struct LintConfig {
     pub det_crates: Vec<String>,
     /// Hot-path roots, as `Type::name` or bare names (H/P rules).
     pub hot_roots: Vec<String>,
-    /// Crates that participate in the per-cycle loop. The conservative
-    /// name-based call graph fans out across the whole workspace, so
-    /// without this filter a driver-level `apply` or `push` in a cold
-    /// crate would count as hot merely for sharing a name with an
-    /// engine method. H/P findings are only reported in these crates.
-    pub hot_crates: Vec<String>,
+    /// Crates that do **not** participate in the per-cycle loop. The
+    /// conservative name-based call graph fans out across the whole
+    /// workspace, so without this filter a driver-level `apply` or
+    /// `push` in a tooling crate would count as hot merely for sharing
+    /// a name with an engine method. This is a denylist rather than a
+    /// hot allowlist on purpose: a future crate that joins the cycle
+    /// loop is checked by default, and misclassifying a crate as hot
+    /// surfaces as visible findings — the stale-list failure mode is
+    /// noise, never silence. H/P findings are suppressed only in the
+    /// crates named here.
+    pub cold_crates: Vec<String>,
     /// Impl types forming the conservation counters (P003).
     pub counter_types: Vec<String>,
+    /// Qualified name of the cycle-loop root the R-family phase
+    /// analysis segments (`Network::step`).
+    pub phase_root: &'static str,
 }
 
 impl Default for LintConfig {
@@ -176,10 +222,11 @@ impl Default for LintConfig {
                 .map(str::to_string)
                 .to_vec(),
             hot_roots: vec!["Network::step".to_string()],
-            hot_crates: ["engine", "routing", "topology", "traffic", "mutate"]
+            cold_crates: ["analyze", "bench", "core", "verify", "ofar"]
                 .map(str::to_string)
                 .to_vec(),
             counter_types: vec!["Stats".to_string(), "StatsWindow".to_string()],
+            phase_root: "Network::step",
         }
     }
 }
@@ -190,7 +237,7 @@ pub fn run(files: &[File], cfg: &LintConfig, reachable: &BTreeSet<FnRef>) -> Vec
     let mut out = Vec::new();
     for (fi, file) in files.iter().enumerate() {
         let det = cfg.det_crates.iter().any(|c| c == &file.crate_name);
-        let hot_crate = cfg.hot_crates.iter().any(|c| c == &file.crate_name);
+        let hot_crate = !cfg.cold_crates.iter().any(|c| c == &file.crate_name);
         if det {
             d001_hash_containers(file, &mut out);
         }
@@ -223,7 +270,7 @@ fn code_toks(file: &File) -> &[Token] {
     &file.tokens
 }
 
-fn line_snippet(file: &File, line: u32) -> String {
+pub(crate) fn line_snippet(file: &File, line: u32) -> String {
     file.src
         .lines()
         .nth(line.saturating_sub(1) as usize)

@@ -42,6 +42,23 @@ enum Effect {
         phits: u32,
         at: u64,
     },
+    /// LLR wire transfer lands on the receive side of input
+    /// (`router`, `port`): sequence number and the CRC the wire saw.
+    Wire {
+        router: u32,
+        port: u16,
+        seq: u32,
+        wire_crc: u32,
+    },
+    /// LLR ack/nack for `seq` returns to the sender side of output
+    /// (`router`, `port`) at cycle `at`.
+    Ack {
+        router: u32,
+        port: u16,
+        seq: u32,
+        ok: bool,
+        at: u64,
+    },
 }
 
 /// A network simulation bound to one routing [`Policy`].
@@ -792,11 +809,20 @@ impl<P: Policy> Network<P> {
     }
 
     /// Advance the simulation by one cycle.
+    ///
+    /// The body is segmented into declared phases (`ofar-lint:
+    /// phase(…)` markers) that the R-family phase analysis checks and
+    /// exports as the parallelization contract
+    /// (`results/phase-contract.json`): a `parallel` phase may only
+    /// write its own shard's state (plus reduction-safe sinks), so the
+    /// parallel engine can fan its routers out; a `commit` phase runs
+    /// serially and is where cross-router effects apply.
     pub fn step(&mut self) {
-        let now = self.now;
+        // ofar-lint: phase(fault_apply, commit)
         // Apply scheduled fault transitions due at (or before) this
         // cycle, in plan order — before arrivals so the cycle already
         // sees the new liveness.
+        let now = self.now;
         while self.plan_cursor < self.plan.events().len()
             && self.plan.events()[self.plan_cursor].at <= now
         {
@@ -804,18 +830,35 @@ impl<P: Policy> Network<P> {
             self.plan_cursor += 1;
             self.apply_fault(kind);
         }
+        // ofar-lint: phase(deliver, parallel)
         self.deliver_events(now);
+        // ofar-lint: phase(llr_timers, commit)
         if self.llr.is_some() {
             self.llr_phase(now);
         }
+        // ofar-lint: phase(cm_sense, commit)
+        // CM sensing and refill sweep every router's estimator and
+        // every NIC's bucket from one loop — inherently cross-shard, so
+        // it runs as its own commit phase rather than inside the
+        // node-parallel injection phase (it used to be the first
+        // statement of `inject`, so the order is unchanged).
+        if self.cm.is_some() {
+            self.cm_sense_and_refill();
+        }
+        // ofar-lint: phase(inject, parallel)
         self.inject(now);
+        // ofar-lint: phase(route, parallel)
         for r in 0..self.routers.len() {
             self.route_and_allocate(r, now);
         }
+        // ofar-lint: phase(effect_commit, commit)
+        self.commit_effects();
+        // ofar-lint: phase(audit, commit)
         #[cfg(feature = "audit")]
         if self.auditor.as_ref().is_some_and(|a| a.deep_due(now)) {
             self.deep_audit(now);
         }
+        // ofar-lint: phase(policy_end, commit)
         let snap = NetSnapshot::new(&self.fab, now, &self.routers, &self.faults);
         self.policy.end_cycle(&snap);
         self.now = now + 1;
@@ -841,6 +884,7 @@ impl<P: Policy> Network<P> {
         let llr = &mut self.llr;
         let stats = &mut self.stats;
         let cm = &mut self.cm;
+        let effects = &mut self.effects;
         #[cfg(feature = "audit")]
         let auditor = &mut self.auditor;
         #[cfg(feature = "mutate")]
@@ -858,25 +902,47 @@ impl<P: Policy> Network<P> {
                     // Link-level CRC/sequence check: a corrupted transfer
                     // is discarded and nacked, a duplicate discarded and
                     // re-acked, a good one accepted and acked. Acks ride
-                    // the credit-return path (same latency, never lost).
+                    // the credit-return path (same latency, never lost)
+                    // and land at `now + latency >= now + 1`, so routing
+                    // them through the commit phase instead of writing
+                    // the upstream router's ack queue here changes
+                    // nothing the sender can observe this cycle.
                     if let Some(l) = llr.as_mut() {
                         let desc = fab.in_desc(RouterId::from(ridx), port);
                         if desc.up_router != u32::MAX {
                             let (verdict, seq) = l.receive(ridx, port, &pkt);
-                            let ack_at = now + u64::from(desc.latency);
-                            let (up_r, up_p) = (desc.up_router as usize, desc.up_port as usize);
+                            let at = now + u64::from(desc.latency);
+                            let (router, port) = (desc.up_router, desc.up_port);
                             match verdict {
-                                RxVerdict::Accept => l.push_ack(up_r, up_p, seq, true, ack_at),
+                                RxVerdict::Accept => effects.push(Effect::Ack {
+                                    router,
+                                    port,
+                                    seq,
+                                    ok: true,
+                                    at,
+                                }),
                                 RxVerdict::CrcDrop => {
                                     stats.llr_crc_drops += 1;
-                                    l.push_ack(up_r, up_p, seq, false, ack_at);
+                                    effects.push(Effect::Ack {
+                                        router,
+                                        port,
+                                        seq,
+                                        ok: false,
+                                        at,
+                                    });
                                     continue;
                                 }
                                 RxVerdict::Duplicate => {
                                     stats.llr_dup_drops += 1;
                                     // Re-ack: the sender may have timed
                                     // out before the first ack landed.
-                                    l.push_ack(up_r, up_p, seq, true, ack_at);
+                                    effects.push(Effect::Ack {
+                                        router,
+                                        port,
+                                        seq,
+                                        ok: true,
+                                        at,
+                                    });
                                     continue;
                                 }
                             }
@@ -978,19 +1044,15 @@ impl<P: Policy> Network<P> {
     /// Phase 2: move source-queue heads into injection buffers
     /// (1 phit/cycle per node).
     ///
-    /// With CM enabled this is also the throttle point: per-router
-    /// occupancy estimators update once per cycle, every NIC bucket
-    /// refills at the rate its router's hysteresis state dictates, and a
-    /// head packet only moves when its bucket holds a packet's worth of
+    /// With CM enabled this is also the throttle point: a head packet
+    /// only moves when its NIC bucket (sensed and refilled by the
+    /// preceding `cm_sense` commit phase) holds a packet's worth of
     /// tokens. Throttling delays `on_inject` only — packets already in
     /// the fabric are never slowed, so the CDG certificate is untouched.
-    // lint:allow(P002, node index and packet size bounded by fabric dimensions) lint:allow(P001, source queue verified non-empty by the loop guard)
+    // lint:allow(P002, node index and packet size bounded by fabric dimensions) lint:allow(P001, source queue verified non-empty by the loop guard) lint:allow(R003, on_inject mutates per-mechanism policy state; the parallel plan gives each worker its own policy replica merged at commit)
     fn inject(&mut self, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let p = self.fab.cfg().params.p;
-        if self.cm.is_some() {
-            self.cm_sense_and_refill();
-        }
         #[cfg(feature = "mutate")]
         let bypass = self.mutation.is_some_and(|m| m.bypass_throttle());
         #[cfg(not(feature = "mutate"))]
@@ -1140,7 +1202,7 @@ impl<P: Policy> Network<P> {
 
     /// Phase 3: routing + separable iterative allocation + grant
     /// execution for one router.
-    // lint:allow(P002, port/vc/candidate indices bounded by fabric radix and VC count)
+    // lint:allow(P002, port/vc/candidate indices bounded by fabric radix and VC count) lint:allow(R003, policy.route mutates per-mechanism state only; serialized per worker replica in the parallel plan)
     fn route_and_allocate(&mut self, ridx: usize, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let ring_need = self.ring_entry_need(size);
@@ -1262,7 +1324,18 @@ impl<P: Policy> Network<P> {
             self.audit_grant(ridx, in_port as usize, vc as usize, req, now);
             self.execute_grant(ridx, in_port as usize, vc as usize, req, now);
         }
-        // Apply deferred cross-router effects (arrivals, credits).
+    }
+
+    /// Commit phase: apply the cycle's deferred cross-router effects in
+    /// submission order — packet arrivals, credit returns and (LLR
+    /// only) wire transfers and acks. Every target queue has exactly
+    /// one upstream writer and at most one entry lands per cycle, all
+    /// stamped `at >= now + 1`, so applying them here instead of inside
+    /// each router's allocation turn is observationally identical: no
+    /// phase of the current cycle reads them, and per-queue order is
+    /// the submission order either way.
+    fn commit_effects(&mut self) {
+        let llr = &mut self.llr;
         for e in self.effects.drain(..) {
             match e {
                 Effect::Arrival {
@@ -1286,6 +1359,27 @@ impl<P: Policy> Network<P> {
                     let q = &mut self.routers[router as usize].outputs[port as usize].credit_events;
                     debug_assert!(q.back().is_none_or(|&(t, _, _)| t <= at));
                     q.push_back((at, vc, phits));
+                }
+                Effect::Wire {
+                    router,
+                    port,
+                    seq,
+                    wire_crc,
+                } => {
+                    if let Some(l) = llr.as_mut() {
+                        l.push_wire(router as usize, port as usize, seq, wire_crc);
+                    }
+                }
+                Effect::Ack {
+                    router,
+                    port,
+                    seq,
+                    ok,
+                    at,
+                } => {
+                    if let Some(l) = llr.as_mut() {
+                        l.push_ack(router as usize, port as usize, seq, ok, at);
+                    }
                 }
             }
         }
@@ -1554,7 +1648,7 @@ impl<P: Policy> Network<P> {
         }
     }
 
-    // lint:allow(P002, vc/router ids and latencies bounded by fabric dimensions and run length) lint:allow(P001, canonical grants are eject-only by construction in route_and_allocate)
+    // lint:allow(P002, vc/router ids and latencies bounded by fabric dimensions and run length) lint:allow(P001, canonical grants are eject-only by construction in route_and_allocate) lint:allow(R003, last_grant and last_delivery are monotone cycle stamps; cross-worker merge is max)
     fn execute_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let router = RouterId::from(ridx);
@@ -1680,6 +1774,7 @@ impl<P: Policy> Network<P> {
                 // dedups spurious retransmissions at every hop, so a
                 // second ejection of one id means the protocol leaked.
                 if let Some(llr) = self.llr.as_mut() {
+                    // lint:allow(R001, mark_delivered touches the global exactly-once dedup set; keyed by packet id and mergeable as set union)
                     if llr.mark_delivered(pkt.id) {
                         self.stats.duplicate_deliveries += 1;
                         #[cfg(feature = "audit")]
@@ -1734,7 +1829,7 @@ impl<P: Policy> Network<P> {
     /// dropped transfer leaves only the replay copy, recovered by the
     /// retransmit timeout. The credit was already taken by the caller
     /// and is not taken again on retries.
-    // lint:allow(P002, packet_size is validated at config build and fits u32)
+    // lint:allow(P002, packet_size is validated at config build and fits u32) lint:allow(R001, sample_fate advances the one shared fate rng; the parallel plan splits it into per-link streams) lint:allow(R003, take_pending consumes one-shot transient fault injections; drained under the same serial order the fault plan fixes)
     fn transmit(
         &mut self,
         ridx: usize,
@@ -1759,12 +1854,17 @@ impl<P: Policy> Network<P> {
                 self.stats.llr_wire_drops += 1;
                 return;
             }
-            llr.push_wire(
-                link.dst_router as usize,
-                link.dst_port as usize,
+            // The receive side only reads wire state when the arrival
+            // lands (`now + latency`, next cycle at the earliest), so
+            // the transfer is committed with the other cross-router
+            // effects instead of written into the destination's queue
+            // from this router's allocation turn.
+            self.effects.push(Effect::Wire {
+                router: link.dst_router,
+                port: link.dst_port,
                 seq,
                 wire_crc,
-            );
+            });
         }
         self.effects.push(Effect::Arrival {
             router: link.dst_router,

@@ -1,8 +1,9 @@
 //! Mutation-driven verification adequacy for the OFAR proof stack.
 //!
-//! The repo carries four independent correctness oracles — the CDG
-//! deadlock verifier, the routing-conformance model checker, the
-//! runtime invariant auditor and the burst progress watchdog. This
+//! The repo carries five independent correctness oracles — the
+//! phase-discipline lint analyzer, the CDG deadlock verifier, the
+//! routing-conformance model checker, the runtime invariant auditor
+//! and the burst progress watchdog. This
 //! crate measures whether that stack would actually *notice* the bugs
 //! it exists to catch: it derives defective variants of the real
 //! routing mechanisms and the engine's flow control (one semantic
@@ -23,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod lint_oracle;
 mod matrix;
 mod mutant;
 mod operator;

@@ -65,6 +65,9 @@ pub fn covered(op: MutationOp, mech: MechanismKind) -> bool {
         // Credit-accounting seams die in the runtime auditor.
         EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew => true,
         EngineRingBubbleSkip => mech == K::Ofar,
+        // The phase-boundary source mutant dies in the static lint
+        // oracle (R001 cross-shard write).
+        SourceCreditPhaseHoist => true,
         // Congestion-management seams: the bypassed token bucket dies in
         // the auditor's throttle-token law on every mechanism (the
         // sustained-overload stage keeps the buckets short for the whole
@@ -221,6 +224,7 @@ impl KillMatrix {
     /// Per-oracle kill counts, in stack order.
     pub fn kills_per_oracle(&self) -> Vec<(OracleKind, usize)> {
         [
+            OracleKind::Lint,
             OracleKind::Cdg,
             OracleKind::Conformance,
             OracleKind::Audit,

@@ -4,7 +4,7 @@
 //! tweak but a deliberate break of one rule the paper's safety argument
 //! rests on (VC ladder discipline, misroute flag protocol, escape-ring
 //! budget/patience, bubble flow control, credit accounting, or the
-//! declarations the verifiers consume). Operators fall into four
+//! declarations the verifiers consume). Operators fall into five
 //! categories by *where* the fault is seeded:
 //!
 //! * [`OpCategory::Policy`] — a [`crate::MutantPolicy`] wrapper rewrites
@@ -16,7 +16,11 @@
 //!   precondition (ring depth, ring presence, ladder width);
 //! * [`OpCategory::Engine`] — the engine's own flow control is mutated
 //!   behind the `cfg(feature = "mutate")` seam
-//!   ([`ofar_engine::EngineMutation`]).
+//!   ([`ofar_engine::EngineMutation`]);
+//! * [`OpCategory::Source`] — the engine's *source text* is mutated and
+//!   re-analyzed: a phase-discipline break the single-threaded engine
+//!   still simulates correctly, observable only to the static lint
+//!   oracle (see `crate::lint_oracle`).
 
 use ofar_routing::MechanismKind;
 
@@ -31,6 +35,9 @@ pub enum OpCategory {
     Config,
     /// Flow-control mutation inside the engine.
     Engine,
+    /// Textual mutation of the engine's step-loop source, checked by
+    /// the phase-discipline analyzer instead of a runtime oracle.
+    Source,
 }
 
 /// One mutation operator of the catalog.
@@ -153,6 +160,17 @@ pub enum MutationOp {
     /// injects on a short bucket, so granted − consumed drifts below
     /// the summed levels and the `ThrottleTokenLaw` deep check fires.
     EngineThrottleBypass,
+
+    // --- source mutations (phase discipline) -----------------------------
+    /// The credit return in `execute_grant` is hoisted across the phase
+    /// boundary: the deferred `Effect::Credit` push (applied by
+    /// `commit_effects` in the serial commit phase) becomes a direct
+    /// write into the *upstream* router's credit queue from the
+    /// parallel `route` phase. The single-threaded engine simulates the
+    /// mutant identically — the ready-at stamp travels in the queue
+    /// entry either way — but the parallelization contract is broken:
+    /// only the R001 cross-shard-write rule of the lint oracle sees it.
+    SourceCreditPhaseHoist,
 }
 
 impl MutationOp {
@@ -189,6 +207,7 @@ impl MutationOp {
         MutationOp::EngineEscapeVcSkew,
         MutationOp::EngineRingBubbleSkip,
         MutationOp::EngineThrottleBypass,
+        MutationOp::SourceCreditPhaseHoist,
     ];
 
     /// Short stable name (kill-matrix row label, DESIGN.md registry key).
@@ -225,6 +244,7 @@ impl MutationOp {
             MutationOp::EngineEscapeVcSkew => "engine-escape-vc-skew",
             MutationOp::EngineRingBubbleSkip => "engine-ring-bubble-skip",
             MutationOp::EngineThrottleBypass => "engine-throttle-bypass",
+            MutationOp::SourceCreditPhaseHoist => "source-credit-phase-hoist",
         }
     }
 
@@ -238,6 +258,7 @@ impl MutationOp {
             CfgShallowRingBuffer | CfgNoRing | CfgFoldedLadder => OpCategory::Config,
             EngineCreditLeak | EngineCreditDouble | EngineEscapeVcSkew | EngineRingBubbleSkip
             | EngineThrottleBypass => OpCategory::Engine,
+            SourceCreditPhaseHoist => OpCategory::Source,
             _ => OpCategory::Policy,
         }
     }
@@ -274,6 +295,10 @@ impl MutationOp {
             // so the folded config is only a defect for the three-phase
             // mechanisms.
             CfgFoldedLadder => matches!(kind, K::Valiant | K::Pb | K::Par),
+            // The source mutant lives in the mechanism-independent
+            // engine text; one matrix row (under the reference
+            // mechanism) keeps the pair list 1:1 with distinct mutants.
+            SourceCreditPhaseHoist => kind == K::Ofar,
         }
     }
 
@@ -311,6 +336,9 @@ impl MutationOp {
             MutationOp::EngineEscapeVcSkew => "credit returns land on the wrong VC",
             MutationOp::EngineRingBubbleSkip => "ring entry granted without the bubble",
             MutationOp::EngineThrottleBypass => "injection token bucket ignored",
+            MutationOp::SourceCreditPhaseHoist => {
+                "credit return hoisted across the route/commit phase boundary"
+            }
         }
     }
 }

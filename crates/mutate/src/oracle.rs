@@ -17,6 +17,10 @@
 //!   (runtime auditor + progress watchdog).
 //! * **Engine** mutants bypass the static stack entirely (the routing
 //!   code is untouched) and go straight to the audited burst.
+//! * **Source** mutants never run at all: the mutated engine text goes
+//!   to the phase-discipline analyzer ([`crate::lint_oracle`]), the
+//!   only oracle that can observe a defect with identical
+//!   single-threaded behavior.
 //!
 //! Every oracle that runs gets a recorded verdict, even after an
 //! earlier oracle already killed the mutant — the matrix wants to know
@@ -479,6 +483,9 @@ pub fn run_mutant(
             };
             verdicts.push((OracleKind::Audit, audit));
             verdicts.push((OracleKind::Watchdog, watchdog));
+        }
+        OpCategory::Source => {
+            verdicts.push((OracleKind::Lint, crate::lint_oracle::lint_verdict(op)));
         }
     }
     MutantOutcome {

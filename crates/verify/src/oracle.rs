@@ -10,8 +10,9 @@
 //! [`crate::conformance`]) can never build: mutated declarations,
 //! perturbed configurations and deliberately defective policies. The
 //! two dynamic oracles (runtime invariant audit, burst watchdog) need
-//! the engine and runners, so their driver lives with the harness; the
-//! verdict vocabulary here is shared by all four.
+//! the engine and runners, and the phase-discipline lint oracle needs
+//! the analyzer, so their drivers live with the harness; the verdict
+//! vocabulary here is shared by all five.
 
 use crate::report::{Certificate, ConformanceError, ConformanceReport, VerifyError};
 use crate::ring_spec::RingSpec;
@@ -20,9 +21,13 @@ use ofar_engine::{RingMode, SimConfig};
 use ofar_routing::{EnumerablePolicy, MechanismDeps};
 use ofar_topology::{Dragonfly, HamiltonianRing};
 
-/// The four independent correctness oracles of the proof stack.
+/// The five independent correctness oracles of the proof stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OracleKind {
+    /// Phase-discipline race analyzer (`ofar-analyze` R rules) over the
+    /// engine source: cross-shard writes, read races and unsharded
+    /// accumulation against the declared step-loop phases.
+    Lint,
     /// Static channel-dependency-graph deadlock verifier
     /// ([`crate::certify`] / [`crate::verify_decl`]).
     Cdg,
@@ -42,6 +47,7 @@ impl OracleKind {
     /// Short stable name used in kill-matrix reports.
     pub fn name(self) -> &'static str {
         match self {
+            OracleKind::Lint => "lint",
             OracleKind::Cdg => "cdg",
             OracleKind::Conformance => "conformance",
             OracleKind::Audit => "audit",
