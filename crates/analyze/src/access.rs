@@ -198,8 +198,10 @@ const ROUTER_INTRA: &[&str] = &[
 /// worker, so the race rules ignore them.
 const SCRATCH: &[&str] = &["reqs", "grants", "matched_in", "matched_out", "best_out"];
 
-/// Immutable-after-construction state.
-const STATIC_FIELDS: &[&str] = &["fab"];
+/// Immutable-after-construction state. The shard-schedule tables are
+/// set once per run by the race harness (never from inside `step`), so
+/// phase code only ever reads them.
+const STATIC_FIELDS: &[&str] = &["fab", "order_nodes", "order_routers"];
 
 /// Which mutations a sink accepts from parallel phases.
 #[derive(Clone, Copy, Debug)]
@@ -235,6 +237,11 @@ pub const SINKS: &[SinkPolicy] = &[
     },
     SinkPolicy {
         name: "delivered_log",
+        allow_compound: false,
+        methods: SinkMethods::Only(&["push"]),
+    },
+    SinkPolicy {
+        name: "delivered_now",
         allow_compound: false,
         methods: SinkMethods::Only(&["push"]),
     },
@@ -346,6 +353,28 @@ pub const ORDER_SENSITIVE: &[&str] = &[
     "sort_by_key",
     "sort_unstable",
     "sort_unstable_by",
+];
+
+/// Effect ledgers: sinks whose element order reflects parallel-phase
+/// push order, which the shard schedule permutes. A commit-phase loop
+/// draining one of these must combine elements commutatively (R006) —
+/// or canonicalize first, as `commit_effects` does by sorting
+/// `delivered_now` before the append.
+pub const LEDGERS: &[&str] = &["delivered_log", "delivered_now", "effects"];
+
+/// Accumulator combinators that weight an element's contribution by its
+/// position in the iteration (polynomial/rolling-hash shapes). R006
+/// flags an accumulator updated through one of these inside a ledger
+/// drain; order-insensitive reductions (`wrapping_add`, `^=`, `max`)
+/// stay silent.
+pub const ORDER_WEIGHTING: &[&str] = &[
+    "pow",
+    "rotate_left",
+    "rotate_right",
+    "wrapping_mul",
+    "wrapping_pow",
+    "wrapping_shl",
+    "wrapping_shr",
 ];
 
 /// Identifiers that conventionally hold the evaluating shard's own id.

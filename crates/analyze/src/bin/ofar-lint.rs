@@ -112,7 +112,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let cfg = LintConfig::default();
+    let mut cfg = LintConfig::default();
+    // Stale-waiver hygiene (S002): whenever the checked-in contract
+    // exists, every one of its waivers must still match a live
+    // suppressed finding.
+    if let Ok(text) = std::fs::read_to_string(args.root.join("results/phase-contract.json")) {
+        cfg.contract = Some(text);
+    }
 
     // Default baseline: lint-baseline.json at the root, when present.
     let baseline_path = args.baseline.clone().or_else(|| {

@@ -40,6 +40,7 @@ pub mod json;
 pub mod lexer;
 pub mod parse;
 pub mod phases;
+pub mod race;
 pub mod report;
 pub mod rules;
 pub mod suppress;
@@ -159,6 +160,55 @@ pub fn analyze_sources(
                     suppressed: None,
                 });
             }
+        }
+    }
+
+    // Stale-waiver hygiene (S002): every waiver the checked-in contract
+    // carries must still match a live *suppressed* R finding. A waiver
+    // whose violation was fixed (or drifted to another line) is a hole
+    // the next violation could hide in — the dynamic certifier
+    // cross-references witnesses against this same list, so it must
+    // stay exact.
+    if let Some(text) = &cfg.contract {
+        match race::load_waivers(text) {
+            Ok(waivers) => {
+                for w in &waivers {
+                    let live = findings.iter().any(|f| {
+                        f.suppressed.is_some()
+                            && f.rule == w.rule
+                            && f.file == w.file
+                            && u64::from(f.line) == w.line
+                    });
+                    if !live {
+                        let snippet = files
+                            .iter()
+                            .find(|f| f.path == w.file)
+                            .map(|f| snippet_of(&f.src, w.line as u32))
+                            .unwrap_or_default();
+                        extra.push(Finding {
+                            rule: rules::RULE_STALE_WAIVER,
+                            file: w.file.clone(),
+                            line: w.line as u32,
+                            message: format!(
+                                "stale contract waiver: {} at {}:{} matches no live \
+                                 suppressed finding — regenerate the contract \
+                                 (ofar-lint --emit-contract)",
+                                w.rule, w.file, w.line
+                            ),
+                            snippet,
+                            suppressed: None,
+                        });
+                    }
+                }
+            }
+            Err(e) => extra.push(Finding {
+                rule: rules::RULE_STALE_WAIVER,
+                file: "results/phase-contract.json".to_string(),
+                line: 0,
+                message: format!("contract waiver list unreadable: {e}"),
+                snippet: String::new(),
+                suppressed: None,
+            }),
         }
     }
 

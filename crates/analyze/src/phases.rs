@@ -25,19 +25,25 @@
 //!   before the first marker, malformed or misplaced markers).
 //! - **R005** — iteration-order-sensitive fold over sharded state in a
 //!   commit phase.
+//! - **R006** — position-weighting accumulation over an effect-ledger
+//!   drain in a commit phase.
 //!
 //! Commit phases run serially in declaration order, so R001–R003 do
-//! not apply there; R005 applies only there, because order-sensitive
-//! reductions over shard collections are exactly what makes a commit
-//! phase irreproducible when sharding changes enumeration order.
+//! not apply there; R005 and R006 apply only there. R005 catches
+//! order-sensitive reductions over shard *collections*; R006 catches
+//! the subtler leak through the effect *ledger*: the ledger's element
+//! order is the parallel phases' push order, which the shard schedule
+//! permutes, so a commit-phase drain must combine elements
+//! commutatively (or canonicalize first — a sort before the fold is
+//! the sanctioned fix, as `commit_effects` does for `delivered_now`).
 
 use crate::access::{self, Access, Class, Op};
 use crate::graph::{CallGraph, FnRef};
-use crate::lexer::Token;
+use crate::lexer::{TokKind, Token};
 use crate::parse::File;
 use crate::rules::{
-    line_snippet, Finding, LintConfig, RULE_PHASE_ACCUM, RULE_PHASE_CROSS_WRITE, RULE_PHASE_FOLD,
-    RULE_PHASE_GAP, RULE_PHASE_READ_RACE,
+    line_snippet, Finding, LintConfig, RULE_LEDGER_FOLD, RULE_PHASE_ACCUM, RULE_PHASE_CROSS_WRITE,
+    RULE_PHASE_FOLD, RULE_PHASE_GAP, RULE_PHASE_READ_RACE,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -298,6 +304,21 @@ pub fn analyze(
         }
 
         check_phase(m, &phase_acc, files, &mut findings);
+        if m.kind == PhaseKind::Commit {
+            r006_ledger_folds(
+                root_file,
+                root_fn.body,
+                Some((lo, hi)),
+                &m.name,
+                &mut findings,
+            );
+            for &fref in &members {
+                let f = &files[fref.0].fns[fref.1];
+                if !f.is_test {
+                    r006_ledger_folds(&files[fref.0], f.body, None, &m.name, &mut findings);
+                }
+            }
+        }
 
         let mut footprint: BTreeMap<String, FieldFoot> = BTreeMap::new();
         for (_, a) in &phase_acc {
@@ -428,6 +449,178 @@ fn check_phase(m: &Marker, phase_acc: &[(usize, Access)], files: &[File], findin
                 }
             }
         }
+    }
+}
+
+/// R006: scan one function body (optionally restricted to a line
+/// region, for the phase-root segments) for loops draining an effect
+/// ledger whose accumulator updates weight elements by position.
+///
+/// The detected shape is a loop-carried scalar update inside a
+/// `for … in …<ledger>…` loop where the accumulator is combined through
+/// a position-weighting operation: `acc = acc.wrapping_mul(…)…`,
+/// `acc = acc * k + …`, `acc *= …`, or a shift. Commutative reductions
+/// (`+=`, `^=`, `wrapping_add`, `max`) stay silent, and so does the
+/// canonicalizing `sort_unstable()`-then-append idiom — sorting *is*
+/// the sanctioned way to make a drain order-insensitive.
+fn r006_ledger_folds(
+    file: &File,
+    body: (usize, usize),
+    region: Option<(u32, u32)>,
+    phase: &str,
+    findings: &mut Findings,
+) {
+    let toks = &file.tokens;
+    let hi = body.1.min(toks.len());
+    let text = |i: usize| toks[i].text(&file.src);
+    let is_ident = |i: usize| i < hi && toks[i].kind == TokKind::Ident;
+    let adj = |i: usize, j: usize| j < hi && toks[i].end == toks[j].start;
+    let skip_group = |at: usize| -> usize {
+        let mut depth = 0i64;
+        let mut j = at;
+        while j < hi {
+            match text(j) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    };
+    // A dotted path that stops *before* a call segment, so the first
+    // combinator method stays outside the path text.
+    let read_path = |at: usize| -> (usize, String) {
+        let mut repr = text(at).to_string();
+        let mut e = at + 1;
+        while e + 1 < hi && text(e) == "." && is_ident(e + 1) && !(e + 2 < hi && text(e + 2) == "(")
+        {
+            repr.push('.');
+            repr.push_str(text(e + 1));
+            e += 2;
+        }
+        (e, repr)
+    };
+    let weighting_at = |e: usize| -> bool {
+        if matches!(text(e), "*" | "/" | "%") {
+            return true;
+        }
+        if (text(e) == "<" && e + 1 < hi && text(e + 1) == "<" && adj(e, e + 1))
+            || (text(e) == ">" && e + 1 < hi && text(e + 1) == ">" && adj(e, e + 1))
+        {
+            return true;
+        }
+        text(e) == "."
+            && is_ident(e + 1)
+            && access::ORDER_WEIGHTING.contains(&text(e + 1))
+            && e + 2 < hi
+            && text(e + 2) == "("
+    };
+
+    let mut i = body.0;
+    while i < hi {
+        if text(i) != "for" || region.is_some_and(|(l, h)| toks[i].line < l || toks[i].line > h) {
+            i += 1;
+            continue;
+        }
+        // Top-level `in`, then the header expression up to the body `{`.
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        while j < hi && !(depth == 0 && text(j) == "in") && text(j) != "{" {
+            match text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= hi || text(j) != "in" {
+            i = j.max(i + 1);
+            continue;
+        }
+        let mut k = j + 1;
+        let mut depth = 0i64;
+        let mut ledger: Option<&str> = None;
+        while k < hi {
+            let t = text(k);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {
+                    if is_ident(k) && access::LEDGERS.contains(&t) {
+                        ledger = Some(t);
+                    }
+                }
+            }
+            k += 1;
+        }
+        if k >= hi {
+            break;
+        }
+        let body_end = skip_group(k);
+        let Some(ledger) = ledger else {
+            i = k + 1; // descend into the loop body: ledger loops nest
+            continue;
+        };
+        let mut flag = |at: usize, path: &str| {
+            findings.push(
+                RULE_LEDGER_FOLD,
+                file,
+                toks[at].line,
+                format!(
+                    "position-weighting accumulation over the `{ledger}` ledger drain \
+                     in commit phase `{phase}`: `{path}` weights elements by ledger \
+                     position, which the shard schedule permutes — reduce \
+                     commutatively or sort the drained elements first"
+                ),
+            );
+        };
+        let mut p = k + 1;
+        while p + 1 < body_end {
+            if !is_ident(p) || (p > 0 && text(p - 1) == ".") {
+                p += 1;
+                continue;
+            }
+            let (e, path) = read_path(p);
+            if e >= body_end {
+                break;
+            }
+            // `acc *= …`, `acc <<= …` — compound weighting assignment.
+            let compound = (matches!(text(e), "*" | "/" | "%")
+                && e + 1 < hi
+                && text(e + 1) == "="
+                && adj(e, e + 1))
+                || (matches!(text(e), "<" | ">")
+                    && e + 2 < hi
+                    && text(e + 1) == text(e)
+                    && adj(e, e + 1)
+                    && text(e + 2) == "="
+                    && adj(e + 1, e + 2));
+            if compound {
+                flag(p, &path);
+                p = e + 2;
+                continue;
+            }
+            // `acc = acc <weighting> …` — self-assignment through a
+            // position-weighting first combinator.
+            if text(e) == "=" && !(e + 1 < hi && text(e + 1) == "=" && adj(e, e + 1)) {
+                let rhs = e + 1;
+                if is_ident(rhs) {
+                    let (re, rpath) = read_path(rhs);
+                    if rpath == path && re < body_end && weighting_at(re) {
+                        flag(p, &path);
+                    }
+                }
+            }
+            p = e.max(p + 1);
+        }
+        i = body_end;
     }
 }
 

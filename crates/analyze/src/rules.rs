@@ -54,6 +54,11 @@ pub const RULE_PHASE_ACCUM: &str = "R003";
 pub const RULE_PHASE_GAP: &str = "R004";
 /// R005: order-sensitive fold over sharded state in a commit phase.
 pub const RULE_PHASE_FOLD: &str = "R005";
+/// R006: position-weighting fold over an effect-ledger drain in a
+/// commit phase.
+pub const RULE_LEDGER_FOLD: &str = "R006";
+/// S002: contract waiver matching no live suppressed finding.
+pub const RULE_STALE_WAIVER: &str = "S002";
 /// A001: malformed suppression (missing rule or reason).
 pub const RULE_BAD_SUPPRESSION: &str = "A001";
 /// A002: suppression that suppresses nothing.
@@ -143,6 +148,19 @@ pub const CATALOG: &[(&str, &str)] = &[
          enumeration order",
     ),
     (
+        RULE_LEDGER_FOLD,
+        "position-weighting accumulation over an effect-ledger drain in \
+         a commit phase: the ledger's push order is shard-schedule \
+         dependent, so a non-commutative fold leaks the schedule into \
+         state — reduce commutatively or sort before folding",
+    ),
+    (
+        RULE_STALE_WAIVER,
+        "contract waiver matching no live suppressed finding — the \
+         waived violation no longer exists; regenerate the contract so \
+         the waiver list only shrinks",
+    ),
+    (
         RULE_BAD_SUPPRESSION,
         "malformed lint:allow — every suppression names a rule and \
          carries a non-empty reason",
@@ -213,6 +231,11 @@ pub struct LintConfig {
     /// Qualified name of the cycle-loop root the R-family phase
     /// analysis segments (`Network::step`).
     pub phase_root: &'static str,
+    /// Checked-in parallelization contract (JSON text), when available.
+    /// Each of its waivers must still match a live suppressed R finding
+    /// or S002 fires: a waiver that outlived its violation is a hole in
+    /// the contract the next violation could hide in.
+    pub contract: Option<String>,
 }
 
 impl Default for LintConfig {
@@ -227,6 +250,7 @@ impl Default for LintConfig {
                 .to_vec(),
             counter_types: vec!["Stats".to_string(), "StatsWindow".to_string()],
             phase_root: "Network::step",
+            contract: None,
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod packet;
 pub mod policy;
 pub mod probe;
 pub mod router;
+pub mod schedule;
 pub mod snapshot;
 pub mod stats;
 
@@ -55,8 +56,9 @@ pub use packet::{
 };
 pub use policy::{InputCtx, NetSnapshot, Policy, RouterView};
 pub use probe::{PortLoad, ViewProbe, PROBE_NOW};
+pub use schedule::ShardSchedule;
 pub use snapshot::{
-    config_fingerprint, peek_header, read_file, write_atomic, SnapshotError, SnapshotHeader,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    config_fingerprint, diff_snapshots, peek_header, read_file, write_atomic, SectionDiff,
+    SnapshotError, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use stats::{jain_index, source_histogram, Stats, StatsWindow, STATS_COUNTERS};

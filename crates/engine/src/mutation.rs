@@ -58,6 +58,22 @@ pub enum EngineMutation {
     /// levels — the deep `ThrottleTokenLaw` check must fire as soon as
     /// throttling actually engages.
     ThrottleBypass,
+    /// Land returned credits on the upstream router *immediately* during
+    /// the parallel `route` phase instead of deferring them through the
+    /// effects ledger — a reintroduced direct foreign-shard write.
+    /// Single-threaded behavior now depends on the shard schedule: the
+    /// upstream router's same-cycle allocation sees the credit iff its
+    /// shard runs after the granting router's. Invisible to every
+    /// dynamic oracle under the identity schedule; only the
+    /// commutativity certifier (`ofar-race`) can object.
+    CreditInstant,
+    /// Fold a non-commutative hash of the effects ledger's *push order*
+    /// into an engine counter during `commit_effects`. The per-queue
+    /// applied state is untouched (each queue still receives its one
+    /// entry), but the fold value — and hence the snapshot — varies
+    /// with the shard schedule that produced the ledger order. The
+    /// defect class R006 forbids statically, seeded dynamically here.
+    EffectOrderFold,
 }
 
 impl EngineMutation {
@@ -94,6 +110,18 @@ impl EngineMutation {
         matches!(self, EngineMutation::ThrottleBypass)
     }
 
+    /// Whether returned credits land on the upstream router directly
+    /// from the parallel `route` phase (the reintroduced foreign write).
+    pub(crate) fn instant_credits(self) -> bool {
+        matches!(self, EngineMutation::CreditInstant)
+    }
+
+    /// Whether `commit_effects` folds the ledger's push order into an
+    /// engine counter (the order-sensitive fold).
+    pub(crate) fn folds_effect_order(self) -> bool {
+        matches!(self, EngineMutation::EffectOrderFold)
+    }
+
     /// Short stable name used in kill-matrix reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -102,6 +130,8 @@ impl EngineMutation {
             EngineMutation::EscapeVcSkew { .. } => "engine-escape-vc-skew",
             EngineMutation::RingBubbleSkip => "engine-ring-bubble-skip",
             EngineMutation::ThrottleBypass => "engine-throttle-bypass",
+            EngineMutation::CreditInstant => "engine-credit-instant",
+            EngineMutation::EffectOrderFold => "engine-effect-order-fold",
         }
     }
 }
@@ -129,6 +159,24 @@ mod tests {
     fn ring_need_halves_only_for_bubble_skip() {
         assert_eq!(EngineMutation::RingBubbleSkip.ring_need(8), 8);
         assert_eq!(EngineMutation::CreditLeak { period: 1 }.ring_need(8), 16);
+    }
+
+    #[test]
+    fn race_seams_are_scoped_and_inert_elsewhere() {
+        assert!(EngineMutation::CreditInstant.instant_credits());
+        assert!(!EngineMutation::CreditInstant.folds_effect_order());
+        assert!(EngineMutation::EffectOrderFold.folds_effect_order());
+        assert!(!EngineMutation::EffectOrderFold.instant_credits());
+        // Neither race seam perturbs the credit-skew, bubble or
+        // throttle seams.
+        for m in [
+            EngineMutation::CreditInstant,
+            EngineMutation::EffectOrderFold,
+        ] {
+            assert_eq!(m.skew_credit(1, 4, 3, 2), (1, 4));
+            assert_eq!(m.ring_need(8), 16);
+            assert!(!m.bypass_throttle());
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::packet::{
 };
 use crate::policy::{InputCtx, NetSnapshot, Policy, RouterView};
 use crate::router::RouterStore;
+use crate::schedule::ShardSchedule;
 use crate::stats::Stats;
 use ofar_topology::{NodeId, RouterId};
 use std::collections::VecDeque;
@@ -61,6 +62,28 @@ enum Effect {
     },
 }
 
+/// Mixing key of one ledger entry for the `EffectOrderFold` mutation
+/// seam: identifies the effect's target so the fold distinguishes
+/// ledger *orders*, not payloads.
+#[cfg(feature = "mutate")]
+fn effect_order_key(e: &Effect) -> u64 {
+    let (tag, router, port, salt) = match e {
+        Effect::Arrival {
+            router, port, vc, ..
+        } => (1u64, *router, *port, u64::from(*vc)),
+        Effect::Credit {
+            router, port, vc, ..
+        } => (2, *router, *port, u64::from(*vc)),
+        Effect::Wire {
+            router, port, seq, ..
+        } => (3, *router, *port, u64::from(*seq)),
+        Effect::Ack {
+            router, port, seq, ..
+        } => (4, *router, *port, u64::from(*seq)),
+    };
+    (tag << 48) | (u64::from(router) << 24) | (u64::from(port) << 8) | (salt & 0xFF)
+}
+
 /// A network simulation bound to one routing [`Policy`].
 pub struct Network<P: Policy> {
     fab: Fabric,
@@ -98,19 +121,32 @@ pub struct Network<P: Policy> {
     /// Packets delivered per source node (Jain fairness / per-source
     /// histograms; one counter bump per delivery, always on).
     delivered_per_src: Vec<u64>,
+    /// Shard iteration order of the router-sharded parallel phases
+    /// (`deliver`, `route`); empty = identity, the release fast path.
+    /// A harness knob ([`Self::set_shard_schedule`]): simulation state
+    /// must be schedule-blind, which is exactly what `ofar-race`
+    /// certifies, so the order is deliberately outside snapshots.
+    order_routers: Vec<u32>, // lint:allow(S001, schedule is a harness knob; snapshots are schedule-blind by construction)
+    /// Shard iteration order of the node-sharded `inject` phase; empty =
+    /// identity. Same snapshot-blindness argument as `order_routers`.
+    order_nodes: Vec<u32>, // lint:allow(S001, schedule is a harness knob; snapshots are schedule-blind by construction)
     /// Runtime invariant auditor; `None` until [`Self::enable_audit`].
     #[cfg(feature = "audit")]
     auditor: Option<crate::audit::Auditor>, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
     /// Seeded flow-control defect (mutation testing only); `None` until
     /// [`Self::set_engine_mutation`].
     #[cfg(feature = "mutate")]
-    mutation: Option<crate::mutation::EngineMutation>, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
+    mutation: Option<crate::mutation::EngineMutation>,
     /// Credit events seen since the mutation was installed (periodic
     /// mutations key off this).
     #[cfg(feature = "mutate")]
     mutation_ticks: u64, // lint:allow(S001, cfg-gated diagnostic harness; deliberately outside simulation snapshots)
     // reusable scratch
     effects: Vec<Effect>,
+    /// Deliveries completed this cycle, pushed in route-phase shard
+    /// order; `commit_effects` drains them *sorted* into
+    /// `delivered_log`, so the log is shard-schedule-invariant.
+    delivered_now: Vec<(u64, u32)>,
     reqs: Vec<(u16, u8, Request)>,
     matched_in: Vec<bool>, // lint:allow(S001, per-cycle scratch; rebuilt each cycle and dead at snapshot boundaries)
     matched_out: Vec<bool>,
@@ -290,6 +326,8 @@ impl<P: Policy> Network<P> {
             llr,
             cm,
             delivered_per_src: vec![0; nodes],
+            order_routers: Vec::new(),
+            order_nodes: Vec::new(),
             #[cfg(feature = "audit")]
             auditor: None,
             #[cfg(feature = "mutate")]
@@ -297,6 +335,7 @@ impl<P: Policy> Network<P> {
             #[cfg(feature = "mutate")]
             mutation_ticks: 0,
             effects: Vec::with_capacity(256),
+            delivered_now: Vec::new(),
             reqs: Vec::with_capacity(n_in * 4),
             matched_in: vec![false; n_in],
             matched_out: vec![false; n_out],
@@ -426,6 +465,24 @@ impl<P: Policy> Network<P> {
     /// §III).
     pub fn enable_link_utilization(&mut self) {
         self.link_phits = Some(vec![0; self.routers.len() * self.fab.n_out()]);
+    }
+
+    /// Install a shard iteration schedule for the three `parallel`
+    /// phases of [`Self::step`] (`deliver`/`route` over routers,
+    /// `inject` over nodes). The commutativity certifier (`ofar-race`)
+    /// runs adversarial schedules against [`ShardSchedule::Identity`]
+    /// and byte-compares snapshots; a divergence falsifies the
+    /// parallelization contract. Identity (the default) materializes to
+    /// empty order vectors and keeps the plain `0..n` loops.
+    pub fn set_shard_schedule(&mut self, sched: ShardSchedule) {
+        self.order_routers = sched.order(self.routers.len());
+        self.order_nodes = sched.order(self.src_q.len());
+    }
+
+    /// The effective router-shard iteration order (empty = identity).
+    /// Exposed for harness assertions.
+    pub fn shard_order_routers(&self) -> &[u32] {
+        &self.order_routers
     }
 
     /// Phits transmitted by output `port` of `router` since
@@ -848,7 +905,12 @@ impl<P: Policy> Network<P> {
         // ofar-lint: phase(inject, parallel)
         self.inject(now);
         // ofar-lint: phase(route, parallel)
-        for r in 0..self.routers.len() {
+        for i in 0..self.routers.len() {
+            let r = if self.order_routers.is_empty() {
+                i
+            } else {
+                self.order_routers[i] as usize
+            };
             self.route_and_allocate(r, now);
         }
         // ofar-lint: phase(effect_commit, commit)
@@ -891,7 +953,17 @@ impl<P: Policy> Network<P> {
         let mutation = self.mutation;
         #[cfg(feature = "mutate")]
         let mutation_ticks = &mut self.mutation_ticks;
-        for (ridx, router) in self.routers.iter_mut().enumerate() {
+        let order = &self.order_routers;
+        for i in 0..self.routers.len() {
+            // Empty order = identity (release fast path): shard i is
+            // router i. Under an adversarial schedule the shard index is
+            // resolved through the permutation; the body is unchanged.
+            let ridx = if order.is_empty() {
+                i
+            } else {
+                order[i] as usize
+            };
+            let router = &mut self.routers[ridx];
             let g = topo.group_of(RouterId::from(ridx));
             for (port, input) in router.inputs.iter_mut().enumerate() {
                 while let Some(&(at, vc, _)) = input.arrivals.front() {
@@ -1058,7 +1130,12 @@ impl<P: Policy> Network<P> {
         #[cfg(not(feature = "mutate"))]
         let bypass = false;
         let need = size * CM_TOKEN_SCALE;
-        for node in 0..self.src_q.len() {
+        for i in 0..self.src_q.len() {
+            let node = if self.order_nodes.is_empty() {
+                i
+            } else {
+                self.order_nodes[i] as usize
+            };
             if self.inj_busy[node] > now || self.src_q[node].is_empty() {
                 continue;
             }
@@ -1336,7 +1413,23 @@ impl<P: Policy> Network<P> {
     /// the submission order either way.
     fn commit_effects(&mut self) {
         let llr = &mut self.llr;
+        #[cfg(feature = "mutate")]
+        let fold = self.mutation.is_some_and(|m| m.folds_effect_order());
+        #[cfg(feature = "mutate")]
+        let mut fold_acc = 0u64;
         for e in self.effects.drain(..) {
+            // Seeded race defect (`EngineMutation::EffectOrderFold`): a
+            // non-commutative fold over the ledger's *push order*. The
+            // applied per-queue state stays correct; only the folded
+            // value — later mixed into a serialized counter — leaks the
+            // shard schedule into the snapshot. This is the defect
+            // class R006 forbids statically (waived here as a cfg-gated
+            // seam) and `ofar-race` must kill dynamically.
+            #[cfg(feature = "mutate")]
+            if fold {
+                // lint:allow(R006, cfg-gated mutation seam; the order-sensitive fold is the seeded defect the race certifier must catch)
+                fold_acc = fold_acc.wrapping_mul(31).wrapping_add(effect_order_key(&e));
+            }
             match e {
                 Effect::Arrival {
                     router,
@@ -1381,6 +1474,24 @@ impl<P: Policy> Network<P> {
                         l.push_ack(router as usize, port as usize, seq, ok, at);
                     }
                 }
+            }
+        }
+        #[cfg(feature = "mutate")]
+        if fold {
+            // Mix the order fold into a snapshot-covered counter so the
+            // ledger order becomes externally observable state.
+            self.stats.latency_sum = self.stats.latency_sum.wrapping_add(fold_acc);
+        }
+        // This cycle's deliveries were recorded in route-phase *shard*
+        // order; a canonical sort before appending keeps the log
+        // schedule-invariant (entries are value tuples, so equal keys
+        // are identical entries and the tie-break is immaterial).
+        if !self.delivered_now.is_empty() {
+            self.delivered_now.sort_unstable();
+            if let Some(log) = self.delivered_log.as_mut() {
+                log.append(&mut self.delivered_now);
+            } else {
+                self.delivered_now.clear();
             }
         }
     }
@@ -1648,10 +1759,37 @@ impl<P: Policy> Network<P> {
         }
     }
 
+    /// Whether the credit return travels through the effects ledger
+    /// (always, unless the `CreditInstant` race seam is installed).
+    #[inline]
+    fn credit_deferred(&self) -> bool {
+        #[cfg(feature = "mutate")]
+        {
+            !self.mutation.is_some_and(|m| m.instant_credits())
+        }
+        #[cfg(not(feature = "mutate"))]
+        true
+    }
+
+    /// The `CreditInstant` seam body: add the returned phits to the
+    /// upstream output's credit counter immediately (no link latency,
+    /// no ledger). Deliberately a defect — the §IV-style credit loop is
+    /// what the commutativity certifier must prove schedule-blind, and
+    /// this write is visible to any shard scheduled after the caller.
+    #[cfg(feature = "mutate")]
+    fn land_credit_instantly(&mut self, router: u32, port: u16, vc: u8, phits: u32) {
+        let out = &mut self.routers[router as usize].outputs[port as usize];
+        out.credits[vc as usize] += phits;
+        if let Some(cm) = self.cm.as_mut() {
+            cm.free[router as usize] += u64::from(phits);
+        }
+    }
+
     // lint:allow(P002, vc/router ids and latencies bounded by fabric dimensions and run length) lint:allow(P001, canonical grants are eject-only by construction in route_and_allocate) lint:allow(R003, last_grant and last_delivery are monotone cycle stamps; cross-worker merge is max)
     fn execute_grant(&mut self, ridx: usize, in_port: usize, vc: usize, req: Request, now: u64) {
         let size = self.fab.cfg().packet_size as u32;
         let router = RouterId::from(ridx);
+        let deferred = self.credit_deferred();
         let store = &mut self.routers[ridx];
         let mut pkt = store.inputs[in_port].vcs[vc].pop(size);
         pkt.wait = 0; // the head-blocked counter restarts at the next hop
@@ -1668,7 +1806,7 @@ impl<P: Policy> Network<P> {
 
         // Credit return to the upstream router feeding this input.
         let desc = *self.fab.in_desc(router, in_port);
-        if desc.up_router != u32::MAX {
+        if desc.up_router != u32::MAX && deferred {
             self.effects.push(Effect::Credit {
                 router: desc.up_router,
                 port: desc.up_port,
@@ -1767,8 +1905,12 @@ impl<P: Policy> Network<P> {
                 if was_on_ring {
                     self.stats.ring_deliveries += 1;
                 }
-                if let Some(log) = self.delivered_log.as_mut() {
-                    log.push((pkt.injected_at, latency as u32));
+                if self.delivered_log.is_some() {
+                    // Deferred: pushed in route-phase shard order here,
+                    // drained *sorted* into `delivered_log` by
+                    // `commit_effects` — the log itself must not depend
+                    // on the shard schedule.
+                    self.delivered_now.push((pkt.injected_at, latency as u32));
                 }
                 // End-to-end exactly-once accounting: the link layer
                 // dedups spurious retransmissions at every hop, so a
@@ -1819,6 +1961,16 @@ impl<P: Policy> Network<P> {
                 }
                 self.transmit(ridx, req, link, pkt, now);
             }
+        }
+
+        // Seeded race defect (`EngineMutation::CreditInstant`): the
+        // credit lands on the upstream shard right now, mid-route-phase,
+        // instead of riding the ledger. Whether the upstream router's
+        // own allocation turn this cycle sees it depends on the shard
+        // schedule — the divergence `ofar-race` exists to catch.
+        #[cfg(feature = "mutate")]
+        if desc.up_router != u32::MAX && !deferred {
+            self.land_credit_instantly(desc.up_router, desc.up_port, vc as u8, size);
         }
     }
 
@@ -2120,6 +2272,10 @@ impl<P: Policy> Network<P> {
     }
 
     fn encode_state(&self, e: &mut Enc) {
+        // Snapshots are taken at cycle boundaries, where the per-cycle
+        // delivery buffer has already been drained into `delivered_log`
+        // by `commit_effects` — it carries no state of its own.
+        debug_assert!(self.delivered_now.is_empty());
         e.u64(self.now);
         e.u64(self.next_id);
         e.u8(u8::from(self.faults_ever));
@@ -2424,6 +2580,173 @@ impl<P: Policy> Network<P> {
         })
     }
 
+    /// Map a byte offset inside a STATE section payload to the field
+    /// whose encoding covers it, shard indices spelled out
+    /// (`"router[7].output[2].credits[1]"`). The commutativity
+    /// certifier uses this to turn a byte-level snapshot divergence
+    /// ([`snapshot::diff_snapshots`]) into a structured witness. Only
+    /// called on divergence, so clarity beats speed.
+    pub fn locate_state_field(&self, state: &[u8], offset: usize) -> String {
+        self.walk_state_to(state, offset)
+            .unwrap_or_else(|e| format!("unmappable offset {offset}: {e}"))
+    }
+
+    /// Walk the STATE schema (mirroring [`Self::decode_state`]) until
+    /// the decoder's position passes `offset`, returning the label of
+    /// the field being decoded at that moment.
+    fn walk_state_to(&self, state: &[u8], offset: usize) -> Result<String, SnapshotError> {
+        let d = &mut Dec::new(state);
+        macro_rules! field {
+            ($decode:expr, $($label:tt)*) => {{
+                $decode;
+                if d.pos() > offset {
+                    return Ok(format!($($label)*));
+                }
+            }};
+        }
+        field!(d.u64()?, "now");
+        field!(d.u64()?, "next_id");
+        field!(d.u8()?, "faults_ever");
+        field!(d.usize()?, "plan_cursor");
+        field!(FaultPlan::snap_decode(d)?, "fault plan");
+        field!(FaultState::snap_decode(d, &self.fab)?, "fault state");
+        for name in Stats::counter_names() {
+            field!(d.u64()?, "stats.{name}");
+        }
+        let nodes = self.src_q.len();
+        field!(d.usize()?, "source-queue count");
+        for node in 0..nodes {
+            let n = d.len(SNAP_QUEUE_BOUND, "source queue size")?;
+            field!(
+                for _ in 0..n {
+                    decode_packet(d)?;
+                },
+                "src_q[{node}]"
+            );
+        }
+        for node in 0..nodes {
+            field!(d.u64()?, "inj_busy[{node}]");
+        }
+        let nr = self.routers.len();
+        for r in 0..nr {
+            field!(d.u64()?, "router_last_grant[{r}]");
+        }
+        field!(
+            if d.u8()? == 1 {
+                let n = d.len(SNAP_QUEUE_BOUND, "delivery log size")?;
+                for _ in 0..n {
+                    d.u64()?;
+                    d.u32()?;
+                }
+            },
+            "delivered_log"
+        );
+        field!(
+            if d.u8()? == 1 {
+                let n = d.len(nr * self.fab.n_out(), "link phit counter count")?;
+                for _ in 0..n {
+                    d.u64()?;
+                }
+            },
+            "link_phits"
+        );
+        for r in 0..nr {
+            // A fresh store of router `r`'s shape gives the per-port/VC
+            // loop bounds the stream itself does not carry.
+            let store = RouterStore::new(&self.fab, RouterId::from(r));
+            for (pi, input) in store.inputs.iter().enumerate() {
+                for vi in 0..input.vcs.len() {
+                    let n = d.len(SNAP_QUEUE_BOUND, "VC buffer size")?;
+                    field!(
+                        for _ in 0..n {
+                            decode_packet(d)?;
+                        },
+                        "router[{r}].input[{pi}].vc[{vi}].fifo"
+                    );
+                }
+                let n = d.len(SNAP_QUEUE_BOUND, "arrival pipeline size")?;
+                field!(
+                    for _ in 0..n {
+                        d.u64()?;
+                        d.u8()?;
+                        decode_packet(d)?;
+                    },
+                    "router[{r}].input[{pi}].arrivals"
+                );
+                field!(d.u64()?, "router[{r}].input[{pi}].busy_until");
+                for vi in 0..input.vc_served_at.len() {
+                    field!(d.u64()?, "router[{r}].input[{pi}].vc_served_at[{vi}]");
+                }
+            }
+            for (po, output) in store.outputs.iter().enumerate() {
+                for vi in 0..output.credits.len() {
+                    field!(d.u32()?, "router[{r}].output[{po}].credits[{vi}]");
+                }
+                let n = d.len(SNAP_QUEUE_BOUND, "credit pipeline size")?;
+                field!(
+                    for _ in 0..n {
+                        d.u64()?;
+                        d.u8()?;
+                        d.u32()?;
+                    },
+                    "router[{r}].output[{po}].credit_events"
+                );
+                field!(d.u64()?, "router[{r}].output[{po}].busy_until");
+                for ii in 0..output.in_served_at.len() {
+                    field!(d.u64()?, "router[{r}].output[{po}].in_served_at[{ii}]");
+                }
+            }
+        }
+        field!(
+            if d.u8()? == 1 {
+                Llr::snap_decode(d, &self.fab)?;
+            },
+            "llr"
+        );
+        let cm_present = d.u8()?;
+        if d.pos() > offset {
+            return Ok("cm presence tag".to_string());
+        }
+        if cm_present == 1 {
+            for node in 0..nodes {
+                field!(d.u32()?, "cm.tokens[{node}]");
+            }
+            for r in 0..nr {
+                field!(d.u32()?, "cm.cong[{r}]");
+            }
+            for r in 0..nr {
+                field!(d.u8()?, "cm.throttled[{r}]");
+            }
+        }
+        for node in 0..nodes {
+            field!(d.u64()?, "delivered_per_src[{node}]");
+        }
+        Ok("past the end of STATE".to_string())
+    }
+
+    /// Section-level diff of two snapshot files
+    /// ([`snapshot::diff_snapshots`]), with a STATE divergence refined
+    /// to a labeled field path via [`Self::locate_state_field`].
+    /// `Ok(None)` means byte-identical sections.
+    pub fn diff_snapshots_named(
+        &self,
+        a: &[u8],
+        b: &[u8],
+    ) -> Result<Option<(snapshot::SectionDiff, String)>, SnapshotError> {
+        let Some(d) = snapshot::diff_snapshots(a, b)? else {
+            return Ok(None);
+        };
+        let detail = match d.section {
+            "state" => {
+                let frame = snapshot::parse_frame(a)?;
+                self.locate_state_field(frame.state, d.offset)
+            }
+            "policy" => format!("opaque policy bytes, offset {}", d.offset),
+            _ => format!("section bytes, offset {}", d.offset),
+        };
+        Ok(Some((d, detail)))
+    }
+
     fn commit_state(&mut self, s: DecodedState) {
         self.now = s.now;
         self.next_id = s.next_id;
@@ -2444,6 +2767,7 @@ impl<P: Policy> Network<P> {
         // Per-cycle scratch is empty at every step boundary; clear it so
         // a restore into a mid-turn network cannot leak stale requests.
         self.effects.clear();
+        self.delivered_now.clear();
         self.reqs.clear();
         self.grants.clear();
     }

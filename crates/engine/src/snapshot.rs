@@ -55,7 +55,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"OFARSNAP";
 
 /// Current format version. Bumped on any layout change; older readers
 /// refuse newer files ([`SnapshotError::UnsupportedVersion`]).
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// v3: the POLICY section of the RNG-carrying mechanisms encodes a
+/// *lane table* (one RNG stream per shard) instead of a single stream —
+/// see `ofar-routing`'s `state::put_lanes`.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Section tag: canonical configuration + mechanism name.
 pub(crate) const SEC_CONFIG: u8 = 1;
@@ -203,6 +207,11 @@ impl<'a> Dec<'a> {
 
     pub(crate) fn is_empty(&self) -> bool {
         self.pos >= self.data.len()
+    }
+
+    /// Bytes consumed so far (offset labelling in snapshot diffs).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
@@ -501,6 +510,70 @@ pub(crate) fn parse_frame(bytes: &[u8]) -> Result<Frame<'_>, SnapshotError> {
         }),
         _ => Err(SnapshotError::Malformed("missing section")),
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot diffing (commutativity certification)
+// ---------------------------------------------------------------------
+
+/// The first divergence between two snapshot files, named at section
+/// granularity. `ofar-race` refines STATE divergences to a field path
+/// via `Network::locate_state_field`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionDiff {
+    /// Which section diverges first: `"config"`, `"policy"` or
+    /// `"state"` (sections are compared in file order).
+    pub section: &'static str,
+    /// Byte offset of the first differing byte within that section's
+    /// payload. When the payloads differ only in length, the offset is
+    /// the shorter length.
+    pub offset: usize,
+    /// Payload lengths `(a, b)` of the diverging section.
+    pub lens: (usize, usize),
+}
+
+impl fmt::Display for SectionDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} section diverges at byte {} (lens {} vs {})",
+            self.section, self.offset, self.lens.0, self.lens.1
+        )
+    }
+}
+
+/// First differing byte offset of two slices, if any (length mismatch
+/// with a common prefix reports the shorter length).
+fn first_mismatch(a: &[u8], b: &[u8]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    match a[..n].iter().zip(&b[..n]).position(|(x, y)| x != y) {
+        Some(i) => Some(i),
+        None if a.len() != b.len() => Some(n),
+        None => None,
+    }
+}
+
+/// Compare two snapshot files section by section and name the first
+/// divergent section. `Ok(None)` means byte-identical payloads (the
+/// commutativity certificate's pass condition). Either file failing to
+/// parse is an error, not a diff.
+pub fn diff_snapshots(a: &[u8], b: &[u8]) -> Result<Option<SectionDiff>, SnapshotError> {
+    let fa = parse_frame(a)?;
+    let fb = parse_frame(b)?;
+    for (section, pa, pb) in [
+        ("config", fa.config, fb.config),
+        ("policy", fa.policy, fb.policy),
+        ("state", fa.state, fb.state),
+    ] {
+        if let Some(offset) = first_mismatch(pa, pb) {
+            return Ok(Some(SectionDiff {
+                section,
+                offset,
+                lens: (pa.len(), pb.len()),
+            }));
+        }
+    }
+    Ok(None)
 }
 
 /// Everything needed to rebuild a network from a snapshot file alone:

@@ -167,6 +167,43 @@ impl Stats {
             self.cm_throttled_cycles,
         ] = *c;
     }
+
+    /// Field names of [`Stats::counters`], in the same order (snapshot
+    /// diff labels; the arrays must stay index-aligned).
+    pub fn counter_names() -> [&'static str; STATS_COUNTERS] {
+        [
+            "generated_packets",
+            "injected_packets",
+            "delivered_packets",
+            "delivered_phits",
+            "latency_sum",
+            "hop_sum",
+            "local_misroutes",
+            "global_misroutes",
+            "ring_entries",
+            "ring_advances",
+            "ring_exits",
+            "ring_deliveries",
+            "last_delivery",
+            "last_grant",
+            "link_failures",
+            "link_repairs",
+            "router_failures",
+            "router_repairs",
+            "llr_retransmits",
+            "llr_wire_drops",
+            "llr_crc_drops",
+            "llr_dup_drops",
+            "llr_nacks",
+            "llr_timeouts",
+            "llr_escalations",
+            "duplicate_deliveries",
+            "cm_tokens_granted",
+            "cm_tokens_consumed",
+            "cm_throttle_deferrals",
+            "cm_throttled_cycles",
+        ]
+    }
 }
 
 /// Number of `u64` counters in [`Stats`] (a snapshot format constant).

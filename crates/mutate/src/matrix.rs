@@ -68,6 +68,11 @@ pub fn covered(op: MutationOp, mech: MechanismKind) -> bool {
         // The phase-boundary source mutant dies in the static lint
         // oracle (R001 cross-shard write).
         SourceCreditPhaseHoist => true,
+        // The schedule-sensitivity seams die in the commutativity
+        // certifier: permuted shard orders make the cross-shard credit
+        // landing (and the ledger-order fold) visible in the epoch
+        // snapshots.
+        EngineCreditInstant | EngineEffectOrderFold => true,
         // Congestion-management seams: the bypassed token bucket dies in
         // the auditor's throttle-token law on every mechanism (the
         // sustained-overload stage keeps the buckets short for the whole
@@ -225,6 +230,7 @@ impl KillMatrix {
     pub fn kills_per_oracle(&self) -> Vec<(OracleKind, usize)> {
         [
             OracleKind::Lint,
+            OracleKind::Race,
             OracleKind::Cdg,
             OracleKind::Conformance,
             OracleKind::Audit,

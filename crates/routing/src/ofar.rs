@@ -30,13 +30,13 @@
 
 use crate::common::{group_pos, hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use crate::probe::ProbeState;
+use crate::state::RngLanes;
 use ofar_engine::{
     InputCtx, Packet, Policy, PortKind, Request, RequestKind, RouterView, SimConfig,
     FLAG_GLOBAL_MISROUTED, FLAG_LOCAL_MISROUTED,
 };
 use ofar_topology::MinimalHop;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// The misroute threshold pair of §IV-B.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -187,7 +187,7 @@ pub struct OfarPolicy {
     /// Resolved ring-guard threshold (`None` = unguarded); derived from
     /// `ofar.ring_guard` and `cfg.cm_enabled` at construction.
     guard: Option<f64>, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
-    rng: SmallRng,
+    lanes: RngLanes,
     probe: ProbeState, // lint:allow(S001, probe telemetry; diagnostic counters deliberately reset on restore)
 }
 
@@ -214,7 +214,9 @@ impl OfarPolicy {
             vcs_injection: cfg.vcs_injection,
             ofar,
             guard,
-            rng: SmallRng::seed_from_u64(seed ^ 0x0FA2), // "OFAR"
+            // "OFAR": misroute-candidate picks happen in `route`, one
+            // reservoir stream per deciding router.
+            lanes: RngLanes::new(seed ^ 0x0FA2, cfg.params.routers(), cfg.params.nodes()),
             probe: ProbeState::default(),
         }
     }
@@ -306,7 +308,10 @@ impl OfarPolicy {
             self.probe.feedback.candidates = self.probe.feedback.candidates.max(cands.len() as u32);
             return (!cands.is_empty()).then(|| cands[pin.candidate % cands.len()]);
         }
-        // Reservoir-sample uniformly without allocating.
+        // Reservoir-sample uniformly without allocating, drawing from
+        // the deciding router's own lane so the pick sequence is keyed
+        // by the shard, not the route-loop schedule.
+        let rng = self.lanes.router(view.router.idx());
         let mut chosen = None;
         let mut seen = 0u32;
         for port in ports {
@@ -314,7 +319,7 @@ impl OfarPolicy {
                 continue;
             }
             seen += 1;
-            if self.rng.gen_range(0..seen) == 0 {
+            if rng.gen_range(0..seen) == 0 {
                 chosen = Some(port);
             }
         }
@@ -597,13 +602,12 @@ impl OfarPolicy {
     /// tie-break RNG — the ring-patience counter travels in each packet
     /// header (`wait`), so it rides the engine's own sections.
     pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
-        crate::state::put_rng(out, &self.rng);
+        self.lanes.save(out);
     }
 
-    /// Restore the RNG stream captured by [`OfarPolicy::save_state`].
+    /// Restore the lane table captured by [`OfarPolicy::save_state`].
     pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
-        self.rng = crate::state::rng_only(data, "OFAR")?;
-        Ok(())
+        self.lanes.load(data, "OFAR")
     }
 }
 

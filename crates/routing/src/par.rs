@@ -17,13 +17,13 @@
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use crate::probe::ProbeState;
+use crate::state::RngLanes;
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
     InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig, FLAG_AUX,
 };
 use ofar_topology::GroupId;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// PAR tunables.
 #[derive(Clone, Copy, Debug)]
@@ -49,7 +49,7 @@ pub struct ParPolicy {
     vcs_global: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     groups: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     par: ParConfig,
-    rng: SmallRng,
+    lanes: RngLanes,
     probe: ProbeState, // lint:allow(S001, probe telemetry; diagnostic counters deliberately reset on restore)
 }
 
@@ -71,7 +71,10 @@ impl ParPolicy {
             vcs_global: cfg.vcs_global,
             groups: cfg.params.groups(),
             par: ParConfig::default(),
-            rng: SmallRng::seed_from_u64(seed ^ 0x504152), // "PAR"
+            // "PAR": diverts happen at injection (node shard) *and* at
+            // the progressive re-evaluation (router shard); each draw
+            // comes from the deciding shard's lane.
+            lanes: RngLanes::new(seed ^ 0x504152, cfg.params.routers(), cfg.params.nodes()),
             probe: ProbeState::default(),
         }
     }
@@ -85,14 +88,20 @@ impl ParPolicy {
             / self.vcs_global as f64
     }
 
-    /// Divert `pkt` onto a Valiant path from the current router.
-    fn divert(&mut self, _view: &RouterView<'_>, pkt: &mut Packet, src: GroupId, dst: GroupId) {
-        let Self {
-            probe, rng, groups, ..
-        } = self;
-        pkt.intermediate = Some(
-            probe.intermediate_or(|| ValiantPolicy::pick_intermediate(rng, *groups, src, dst)),
-        );
+    /// Divert `pkt` onto a Valiant path, drawing the intermediate from
+    /// `rng` — the *deciding shard's* lane: the injecting node's at
+    /// injection time, the re-evaluating router's at the progressive
+    /// step.
+    fn divert(
+        probe: &mut ProbeState,
+        rng: &mut SmallRng,
+        groups: usize,
+        pkt: &mut Packet,
+        src: GroupId,
+        dst: GroupId,
+    ) {
+        pkt.intermediate =
+            Some(probe.intermediate_or(|| ValiantPolicy::pick_intermediate(rng, groups, src, dst)));
     }
 }
 
@@ -119,7 +128,20 @@ impl Policy for ParPolicy {
                 if host == view.router {
                     pkt.clear(FLAG_AUX);
                     if self.live_global_occupancy(view, k) > self.par.saturation_threshold {
-                        self.divert(view, pkt, src_group, dst_group);
+                        let Self {
+                            probe,
+                            lanes,
+                            groups,
+                            ..
+                        } = self;
+                        Self::divert(
+                            probe,
+                            lanes.router(view.router.idx()),
+                            *groups,
+                            pkt,
+                            src_group,
+                            dst_group,
+                        );
                     }
                 }
             } else {
@@ -144,7 +166,20 @@ impl Policy for ParPolicy {
         if pkt.intermediate.take().is_none() && view.group() == src_group && src_group != dst_group
         {
             pkt.clear(FLAG_AUX);
-            self.divert(view, pkt, src_group, dst_group);
+            let Self {
+                probe,
+                lanes,
+                groups,
+                ..
+            } = self;
+            Self::divert(
+                probe,
+                lanes.router(view.router.idx()),
+                *groups,
+                pkt,
+                src_group,
+                dst_group,
+            );
         }
         live_minimal_hop(view, pkt)
             .map(|hop| hop_to_request(view, pkt, hop, &self.ladder, RequestKind::Minimal))
@@ -159,7 +194,20 @@ impl Policy for ParPolicy {
             if host == view.router {
                 // The minimal channel is local: decide now, finally.
                 if self.live_global_occupancy(view, k) > self.par.saturation_threshold {
-                    self.divert(view, pkt, src_group, dst_group);
+                    let Self {
+                        probe,
+                        lanes,
+                        groups,
+                        ..
+                    } = self;
+                    Self::divert(
+                        probe,
+                        lanes.node(pkt.src.idx()),
+                        *groups,
+                        pkt,
+                        src_group,
+                        dst_group,
+                    );
                 }
             } else {
                 // Provisionally minimal; re-evaluate at the hosting
@@ -181,15 +229,15 @@ pub fn par_config(mut cfg: SimConfig) -> SimConfig {
 }
 
 impl ParPolicy {
-    /// Checkpoint hook: PAR's only dynamic state is its tie-break RNG.
+    /// Checkpoint hook: PAR's only dynamic state is its tie-break lane
+    /// table.
     pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
-        crate::state::put_rng(out, &self.rng);
+        self.lanes.save(out);
     }
 
-    /// Restore the RNG stream captured by [`ParPolicy::save_state`].
+    /// Restore the lane table captured by [`ParPolicy::save_state`].
     pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
-        self.rng = crate::state::rng_only(data, "PAR")?;
-        Ok(())
+        self.lanes.load(data, "PAR")
     }
 }
 

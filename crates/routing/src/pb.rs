@@ -20,13 +20,12 @@
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use crate::probe::ProbeState;
+use crate::state::RngLanes;
 use crate::valiant::ValiantPolicy;
 use ofar_engine::{
     InputCtx, NetSnapshot, Packet, Policy, Request, RequestKind, RouterView, SimConfig,
 };
 use ofar_topology::{Dragonfly, GroupId, RouterId};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Tunables of the PB mechanism.
 #[derive(Clone, Copy, Debug)]
@@ -63,7 +62,7 @@ pub struct PbPolicy {
     /// Broadcast-visible occupancy of every global channel, indexed by
     /// `router · h + k`. Stale by up to `update_period` cycles.
     visible: Vec<f32>,
-    rng: SmallRng,
+    lanes: RngLanes,
     probe: ProbeState, // lint:allow(S001, probe telemetry; diagnostic counters deliberately reset on restore)
 }
 
@@ -82,7 +81,8 @@ impl PbPolicy {
             h: cfg.params.h,
             pb,
             visible: vec![0.0; cfg.params.routers() * cfg.params.h],
-            rng: SmallRng::seed_from_u64(seed ^ 0x5042), // "PB"
+            // "PB": one Valiant-candidate stream per injecting node.
+            lanes: RngLanes::new(seed ^ 0x5042, cfg.params.routers(), cfg.params.nodes()),
             probe: ProbeState::default(),
         }
     }
@@ -144,8 +144,12 @@ impl Policy for PbPolicy {
         if src_group != dst_group && pkt.intermediate.is_none() {
             // Candidate Valiant path through one random intermediate.
             let Self {
-                probe, rng, groups, ..
+                probe,
+                lanes,
+                groups,
+                ..
             } = self;
+            let rng = lanes.node(pkt.src.idx());
             let inter = probe.intermediate_or(|| {
                 ValiantPolicy::pick_intermediate(rng, *groups, src_group, dst_group)
             });
@@ -190,19 +194,21 @@ crate::probe::impl_enumerable_via_probe!(PbPolicy);
 impl PbPolicy {
     /// Checkpoint hook: PB carries real cross-cycle state — the
     /// broadcast-visible occupancy table updated every cycle by
-    /// `end_cycle` — plus its tie-break RNG. Both must round-trip for a
-    /// restored run to take bit-identical decisions.
+    /// `end_cycle` — plus its tie-break lane table. Both must round-trip
+    /// for a restored run to take bit-identical decisions.
     pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
-        crate::state::put_rng(out, &self.rng);
+        self.lanes.save(out);
         out.extend_from_slice(&(self.visible.len() as u32).to_le_bytes());
         for &v in &self.visible {
             out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
     }
 
-    /// Restore the state captured by [`PbPolicy::save_state`].
+    /// Restore the state captured by [`PbPolicy::save_state`]. Fails
+    /// closed: `self` is untouched unless the whole frame decodes.
     pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
-        let (rng, rest) = crate::state::take_rng(data, "PB")?;
+        let mut lanes = self.lanes.clone();
+        let rest = lanes.take_lanes(data, "PB")?;
         if rest.len() < 4 {
             return Err("PB: truncated visibility table header".into());
         }
@@ -227,7 +233,7 @@ impl PbPolicy {
                 chunk.try_into().unwrap(),
             )));
         }
-        self.rng = rng;
+        self.lanes = lanes;
         self.visible = visible;
         Ok(())
     }

@@ -7,6 +7,100 @@
 //! descriptive `Err` on any length or layout mismatch.
 
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-shard RNG lanes for the parallel phases: one independent
+/// xoshiro256** stream per shard, router lanes first (`0..routers`),
+/// node lanes after (`routers..routers + nodes`).
+///
+/// A randomized decision made during a `parallel`-marked phase of
+/// `Network::step` must draw from the deciding shard's own lane: a
+/// single shared stream would advance in shard-iteration order, so every
+/// pick would depend on the shard schedule the parallelization contract
+/// (`results/phase-contract.json`) declares unobservable — and the
+/// `ofar-race` certifier would rightly flag the POLICY section of the
+/// snapshot as schedule-divergent. Draws from `route` key by the routing
+/// router's index; draws from `inject` key by the injecting node's.
+#[derive(Clone, Debug)]
+pub(crate) struct RngLanes {
+    /// Lane split point between router and node lanes. Config-derived
+    /// (topology shape), so the codec carries only the streams.
+    routers: usize, // lint:allow(S001, config-derived lane split; rebuilt by the policy constructor and cross-checked against the lane count on restore)
+    lanes: Vec<SmallRng>,
+}
+
+impl RngLanes {
+    /// Derive `routers + nodes` independent streams from one policy
+    /// seed. Lane `i` seeds from a golden-ratio stride over the base;
+    /// `SmallRng::seed_from_u64` runs its own splitmix expansion on top,
+    /// so adjacent lanes decorrelate.
+    pub(crate) fn new(base: u64, routers: usize, nodes: usize) -> Self {
+        let lanes = (0..routers + nodes)
+            .map(|i| {
+                SmallRng::seed_from_u64(
+                    base.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
+            .collect();
+        Self { routers, lanes }
+    }
+
+    /// The lane of router shard `r` (draws made from `route`).
+    pub(crate) fn router(&mut self, r: usize) -> &mut SmallRng {
+        &mut self.lanes[r]
+    }
+
+    /// The lane of node shard `n` (draws made from `inject`).
+    pub(crate) fn node(&mut self, n: usize) -> &mut SmallRng {
+        &mut self.lanes[self.routers + n]
+    }
+
+    /// Append the lane table: count header, then each lane's 256-bit
+    /// state in lane-index order — byte-identical no matter which shard
+    /// schedule produced the draws.
+    pub(crate) fn save(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.lanes.len() as u32).to_le_bytes());
+        for rng in &self.lanes {
+            put_rng(out, rng);
+        }
+    }
+
+    /// Read a lane table from the front of `data`, returning the rest.
+    /// Fails closed (self untouched) when the count disagrees with this
+    /// network's shape or the table is truncated.
+    pub(crate) fn take_lanes<'a>(&mut self, data: &'a [u8], who: &str) -> Result<&'a [u8], String> {
+        if data.len() < 4 {
+            return Err(format!("{who}: truncated lane-table header"));
+        }
+        let (head, body) = data.split_at(4);
+        let n = u32::from_le_bytes(head.try_into().unwrap()) as usize;
+        if n != self.lanes.len() {
+            return Err(format!(
+                "{who}: lane table has {n} streams, this network needs {}",
+                self.lanes.len()
+            ));
+        }
+        let mut fresh = Vec::with_capacity(n);
+        let mut rest = body;
+        for _ in 0..n {
+            let (rng, r) = take_rng(rest, who)?;
+            fresh.push(rng);
+            rest = r;
+        }
+        self.lanes = fresh;
+        Ok(rest)
+    }
+
+    /// The whole state is one lane table: decode it and require nothing
+    /// follows.
+    pub(crate) fn load(&mut self, data: &[u8], who: &str) -> Result<(), String> {
+        let rest = self.take_lanes(data, who)?;
+        if !rest.is_empty() {
+            return Err(format!("{who}: {} trailing bytes of state", rest.len()));
+        }
+        Ok(())
+    }
+}
 
 /// Append one RNG's 256-bit state.
 pub(crate) fn put_rng(out: &mut Vec<u8>, rng: &SmallRng) {
@@ -26,13 +120,4 @@ pub(crate) fn take_rng<'a>(data: &'a [u8], who: &str) -> Result<(SmallRng, &'a [
         *word = u64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().unwrap());
     }
     Ok((SmallRng::from_state(s), rest))
-}
-
-/// The whole state is one RNG: decode it and require nothing follows.
-pub(crate) fn rng_only(data: &[u8], who: &str) -> Result<SmallRng, String> {
-    let (rng, rest) = take_rng(data, who)?;
-    if !rest.is_empty() {
-        return Err(format!("{who}: {} trailing bytes of state", rest.len()));
-    }
-    Ok(rng)
 }

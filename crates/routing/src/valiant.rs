@@ -14,10 +14,11 @@
 
 use crate::common::{hop_to_request, injection_vc, live_minimal_hop, VcLadder};
 use crate::probe::ProbeState;
+use crate::state::RngLanes;
 use ofar_engine::{InputCtx, Packet, Policy, Request, RequestKind, RouterView, SimConfig};
 use ofar_topology::GroupId;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Valiant routing.
 #[derive(Clone, Debug)]
@@ -25,7 +26,7 @@ pub struct ValiantPolicy {
     ladder: VcLadder, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     vcs_injection: usize, // lint:allow(S001, config-derived; rebuilt from SimConfig when the policy is constructed)
     groups: usize,
-    rng: SmallRng,
+    lanes: RngLanes,
     probe: ProbeState, // lint:allow(S001, probe telemetry; diagnostic counters deliberately reset on restore)
 }
 
@@ -36,7 +37,10 @@ impl ValiantPolicy {
             ladder: VcLadder::new(cfg.vcs_local, cfg.vcs_global),
             vcs_injection: cfg.vcs_injection,
             groups: cfg.params.groups(),
-            rng: SmallRng::seed_from_u64(seed ^ 0x56414C), // "VAL"
+            // "VAL": one intermediate-pick stream per injecting node, so
+            // the draw order is keyed by the node, not the inject-loop
+            // schedule.
+            lanes: RngLanes::new(seed ^ 0x56414C, cfg.params.routers(), cfg.params.nodes()),
             probe: ProbeState::default(),
         }
     }
@@ -104,8 +108,12 @@ impl Policy for ValiantPolicy {
         let dst_group = topo.group_of_node(pkt.dst);
         if src_group != dst_group && pkt.intermediate.is_none() {
             let Self {
-                probe, rng, groups, ..
+                probe,
+                lanes,
+                groups,
+                ..
             } = self;
+            let rng = lanes.node(pkt.src.idx());
             pkt.intermediate =
                 Some(probe.intermediate_or(|| {
                     Self::pick_intermediate(rng, *groups, src_group, dst_group)
@@ -119,16 +127,15 @@ crate::probe::impl_enumerable_via_probe!(ValiantPolicy);
 
 impl ValiantPolicy {
     /// Checkpoint hook: VAL's only dynamic state is the
-    /// intermediate-group RNG (chosen intermediates ride in the packet
-    /// headers themselves).
+    /// intermediate-pick lane table (chosen intermediates ride in the
+    /// packet headers themselves).
     pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
-        crate::state::put_rng(out, &self.rng);
+        self.lanes.save(out);
     }
 
-    /// Restore the RNG stream captured by [`ValiantPolicy::save_state`].
+    /// Restore the lane table captured by [`ValiantPolicy::save_state`].
     pub(crate) fn load_state(&mut self, data: &[u8]) -> Result<(), String> {
-        self.rng = crate::state::rng_only(data, "VAL")?;
-        Ok(())
+        self.lanes.load(data, "VAL")
     }
 }
 
@@ -137,6 +144,7 @@ mod tests {
     use super::*;
     use ofar_engine::Network;
     use ofar_topology::NodeId;
+    use rand::SeedableRng;
 
     #[test]
     fn valiant_paths_stay_within_five_hops() {

@@ -10,9 +10,10 @@
 //! [`crate::conformance`]) can never build: mutated declarations,
 //! perturbed configurations and deliberately defective policies. The
 //! two dynamic oracles (runtime invariant audit, burst watchdog) need
-//! the engine and runners, and the phase-discipline lint oracle needs
-//! the analyzer, so their drivers live with the harness; the verdict
-//! vocabulary here is shared by all five.
+//! the engine and runners, the phase-discipline lint oracle needs the
+//! analyzer, and the commutativity certifier needs the engine's shard
+//! schedules, so their drivers live with the harness; the verdict
+//! vocabulary here is shared by all six.
 
 use crate::report::{Certificate, ConformanceError, ConformanceReport, VerifyError};
 use crate::ring_spec::RingSpec;
@@ -21,13 +22,18 @@ use ofar_engine::{RingMode, SimConfig};
 use ofar_routing::{EnumerablePolicy, MechanismDeps};
 use ofar_topology::{Dragonfly, HamiltonianRing};
 
-/// The five independent correctness oracles of the proof stack.
+/// The six independent correctness oracles of the proof stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Phase-discipline race analyzer (`ofar-analyze` R rules) over the
     /// engine source: cross-shard writes, read races and unsharded
     /// accumulation against the declared step-loop phases.
     Lint,
+    /// Schedule-adversarial commutativity certifier (`ofar-race`):
+    /// byte-compares epoch snapshots of permuted-shard-order runs
+    /// against the identity schedule and bisects any divergence to the
+    /// first cycle.
+    Race,
     /// Static channel-dependency-graph deadlock verifier
     /// ([`crate::certify`] / [`crate::verify_decl`]).
     Cdg,
@@ -48,6 +54,7 @@ impl OracleKind {
     pub fn name(self) -> &'static str {
         match self {
             OracleKind::Lint => "lint",
+            OracleKind::Race => "race",
             OracleKind::Cdg => "cdg",
             OracleKind::Conformance => "conformance",
             OracleKind::Audit => "audit",
